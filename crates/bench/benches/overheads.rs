@@ -1,0 +1,80 @@
+//! §6.8 — decision overheads: request-router lookup, batching decision,
+//! and the resource-management MILP at the paper testbed scale.
+//!
+//! The paper reports sub-millisecond router lookups and ~4.2 s average
+//! Gurobi solves; here the same operations are measured over the Rust
+//! implementation (the solver is our own branch & bound, so the absolute
+//! MILP time differs, but it stays far off the query critical path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proteus_core::allocation::milp::{solve_allocation, MilpConfig};
+use proteus_core::batching::{BatchContext, BatchPolicy, ProteusBatching};
+use proteus_core::router::Router;
+use proteus_core::schedulers::AllocContext;
+use proteus_core::{FamilyMap, Query, QueryId};
+use proteus_profiler::{Cluster, DeviceId, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy};
+use proteus_sim::SimTime;
+
+fn router_lookup(c: &mut Criterion) {
+    // 40 hosting devices for one family: the worst realistic fan-out.
+    let targets: Vec<(DeviceId, f64)> = (0..40)
+        .map(|i| (DeviceId(i), 1.0 + (i % 7) as f64))
+        .collect();
+    let mut router = Router::new(ModelFamily::EfficientNet, targets);
+    c.bench_function("router_route_40_targets", |b| {
+        b.iter(|| black_box(router.route()))
+    });
+}
+
+fn batching_decision(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_table3();
+    let store = ProfileStore::build(&zoo, SloPolicy::default());
+    let variant = zoo.least_accurate(ModelFamily::EfficientNet).unwrap().id();
+    let profile = store.profile(variant, DeviceType::V100).unwrap();
+    let slo = SimTime::from_millis_f64(store.slo_ms(ModelFamily::EfficientNet));
+    let queue: Vec<Query> = (0..24)
+        .map(|i| {
+            Query::new(
+                QueryId(i),
+                ModelFamily::EfficientNet,
+                SimTime::from_millis(i),
+                slo,
+            )
+        })
+        .collect();
+    let mut policy = ProteusBatching;
+    c.bench_function("proteus_batching_decide_24_queued", |b| {
+        b.iter(|| {
+            let ctx = BatchContext {
+                now: SimTime::from_millis(5),
+                queue: black_box(&queue),
+                profile,
+            };
+            black_box(policy.decide(&ctx))
+        })
+    });
+}
+
+fn milp_solve(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_table3();
+    let store = ProfileStore::build(&zoo, SloPolicy::default());
+    let cluster = Cluster::paper_testbed();
+    let ctx = AllocContext {
+        cluster: &cluster,
+        zoo: &zoo,
+        store: &store,
+    };
+    let demand = FamilyMap::from_fn(|f| 40.0 + 10.0 * f.index() as f64);
+    let config = MilpConfig::default();
+    let mut group = c.benchmark_group("milp");
+    group.sample_size(10);
+    group.bench_function("allocate_paper_testbed_9_families", |b| {
+        b.iter(|| black_box(solve_allocation(&ctx, black_box(&demand), None, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, router_lookup, batching_decision, milp_solve);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Substrate micro-benchmarks: discrete-event engine throughput, trace
+//! generation and profile-store lookups. Not part of the paper's figures;
+//! used to confirm the simulator itself never bottlenecks an experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proteus_profiler::{DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy};
+use proteus_sim::{Actor, SimTime, Simulation};
+use proteus_workloads::{DiurnalTrace, TraceBuilder};
+
+struct Relay {
+    left: u32,
+}
+
+impl Actor for Relay {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, event: u32, sim: &mut Simulation<u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sim.schedule(now + SimTime::from_micros(10), event + 1);
+        }
+    }
+}
+
+fn event_engine(c: &mut Criterion) {
+    c.bench_function("sim_10k_chained_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.schedule(SimTime::ZERO, 0);
+            let mut relay = Relay { left: 10_000 };
+            sim.run(&mut relay);
+            black_box(sim.delivered())
+        })
+    });
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let trace = DiurnalTrace::paper_like(60, 200.0, 1000.0, 42);
+    c.bench_function("trace_60s_diurnal_zipf", |b| {
+        b.iter(|| {
+            let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+                .seed(42)
+                .build(black_box(&trace));
+            black_box(arrivals.len())
+        })
+    });
+}
+
+fn profile_lookup(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_table3();
+    let store = ProfileStore::build(&zoo, SloPolicy::default());
+    let ids: Vec<_> = zoo.iter().map(|v| v.id()).collect();
+    let mut i = 0;
+    c.bench_function("profile_store_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(store.profile(ids[i], DeviceType::V100))
+        })
+    });
+    c.bench_function("profile_store_build_full_zoo", |b| {
+        b.iter(|| black_box(ProfileStore::build(&zoo, SloPolicy::default())))
+    });
+    let _ = ModelFamily::COUNT;
+}
+
+criterion_group!(benches, event_engine, trace_generation, profile_lookup);
+criterion_main!(benches);

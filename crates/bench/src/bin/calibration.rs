@@ -1,0 +1,133 @@
+//! Calibration sweeps used to pick the experiment operating points:
+//! `peaks` sweeps the diurnal peak demand across all five systems (Fig. 4
+//! scale selection), `batching` sweeps the offered load of the batching
+//! isolation experiment (Fig. 6), and `headroom` sweeps the planning
+//! headroom beta with per-family/per-window violation breakdowns. Not part
+//! of the paper reproduction itself, but kept so the chosen operating
+//! points stay reproducible.
+
+use proteus_bench::{paper_contenders, run_contender};
+use proteus_core::batching::{BatchPolicy, NexusBatching, ProteusBatching};
+use proteus_core::schedulers::ProteusAllocator;
+use proteus_core::system::{ServingSystem, SystemConfig};
+use proteus_core::FamilyMap;
+use proteus_metrics::report::{fmt_f, TextTable};
+use proteus_profiler::ModelFamily;
+use proteus_workloads::{ArrivalKind, ArrivalProcess, DiurnalTrace, QueryArrival, TraceBuilder};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "peaks".into());
+    match mode.as_str() {
+        "peaks" => peaks(),
+        "batching" => batching(),
+        "headroom" => headroom(),
+        other => eprintln!("unknown mode {other} (peaks|batching|headroom)"),
+    }
+}
+
+fn peaks() {
+    for peak in [1000.0, 1300.0, 1600.0] {
+        let trace = DiurnalTrace::paper_like(8 * 60, peak / 5.0, peak, 42);
+        let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+            .seed(42)
+            .build(&trace);
+        println!("== peak {peak} QPS ({} queries) ==", arrivals.len());
+        let mut t = TextTable::new(vec!["system", "thr", "acc%", "drop%", "viol"]);
+        for c in paper_contenders() {
+            let s = run_contender(&c, SystemConfig::paper_testbed(), &arrivals)
+                .metrics
+                .summary();
+            t.row(vec![
+                c.name.into(),
+                fmt_f(s.avg_throughput_qps, 0),
+                fmt_f(s.effective_accuracy_pct(), 1),
+                fmt_f(s.max_accuracy_drop_pct(), 1),
+                fmt_f(s.slo_violation_ratio, 4),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+}
+
+fn batching() {
+    let policies: Vec<(&str, Box<dyn BatchPolicy>)> = vec![
+        ("proteus", Box::new(ProteusBatching)),
+        ("nexus", Box::new(NexusBatching)),
+    ];
+    for qps in [350.0, 450.0, 550.0, 600.0, 650.0] {
+        print!("qps {qps}: ");
+        for (name, p) in &policies {
+            let mut config = SystemConfig::paper_testbed();
+            config.realloc_period_secs = 1e9;
+            config.burst_threshold = f64::INFINITY;
+            let mut prov = FamilyMap::default();
+            prov[ModelFamily::EfficientNet] = 600.0;
+            config.provision_demand = Some(prov);
+            let stream: Vec<QueryArrival> =
+                ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, qps, 77)
+                    .take_for_secs(90.0)
+                    .into_iter()
+                    .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
+                    .collect();
+            let mut system = ServingSystem::new(
+                config,
+                Box::new(ProteusAllocator::default()),
+                p.clone(),
+            );
+            let s = system.run(&stream).metrics.summary();
+            print!("{name}={:.4} ", s.slo_violation_ratio);
+        }
+        println!();
+    }
+}
+
+fn headroom() {
+    let trace = DiurnalTrace::paper_like(8 * 60, 260.0, 1300.0, 42);
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(42)
+        .build(&trace);
+    for (label, headroom, load_scale) in [
+        ("beta=1.05", 1.05, 1.0),
+        ("beta=1.15", 1.15, 1.0),
+        ("beta=1.25", 1.25, 1.0),
+        ("beta=1.15 fast-load", 1.15, 0.1),
+        ("beta=1.05 fast-load", 1.05, 0.1),
+    ] {
+        let mut config = SystemConfig::paper_testbed();
+        config.demand_headroom = headroom;
+        config.load_base_secs *= load_scale;
+        config.load_secs_per_gib *= load_scale;
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let o = system.run(&arrivals);
+        let s = o.metrics.summary();
+        println!(
+            "{label}: viol={:.4} drop={:.2}% acc={:.2}% reallocs={} shrunk={}",
+            s.slo_violation_ratio,
+            s.max_accuracy_drop_pct(),
+            s.effective_accuracy_pct(),
+            o.reallocations,
+            o.shrunk_plans
+        );
+        if label.starts_with("beta=1.25") {
+            for f in o.metrics.family_summaries() {
+                println!(
+                    "   {:<14} viol={:.4} arrived={}",
+                    f.family.label(),
+                    f.summary.slo_violation_ratio,
+                    f.summary.total_arrived
+                );
+            }
+            let per_min: Vec<f64> = o
+                .metrics
+                .timeseries()
+                .chunks(30)
+                .map(|c| c.iter().map(|b| b.violations() as f64).sum::<f64>() / 30.0)
+                .collect();
+            println!("   viol/s per 30s window: {per_min:.1?}");
+        }
+    }
+}

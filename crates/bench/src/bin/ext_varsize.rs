@@ -1,0 +1,104 @@
+//! §7 extension — varying input sizes.
+//!
+//! The paper notes that NLP queries have variable-size inputs whose cost
+//! the MILP ignores but "adaptive batching does take into account the
+//! real-time query execution", leaving the full treatment as future work.
+//! This experiment implements it: queries carry an input-cost factor,
+//! batch latency scales with the *summed cost* rather than the count, and
+//! the Proteus batching policy sizes batches against cost-weighted
+//! latencies. A cost-oblivious variant (which assumes every input is
+//! nominal while the hardware charges true costs) quantifies what that
+//! awareness buys.
+
+use proteus_core::batching::{BatchContext, BatchDecision, BatchPolicy, ProteusBatching};
+use proteus_core::schedulers::ProteusAllocator;
+use proteus_core::system::{ServingSystem, SystemConfig};
+use proteus_core::{FamilyMap, Query};
+use proteus_metrics::report::{fmt_f, TextTable};
+use proteus_profiler::ModelFamily;
+use proteus_workloads::{FlatTrace, TraceBuilder};
+
+/// Delegates to Proteus batching but hides the true input costs (every
+/// query looks nominal), while the executor still charges them.
+#[derive(Debug, Clone, Default)]
+struct CostOblivious {
+    inner: ProteusBatching,
+}
+
+impl BatchPolicy for CostOblivious {
+    fn name(&self) -> &'static str {
+        "cost-oblivious"
+    }
+
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision {
+        let nominal: Vec<Query> = ctx.queue.iter().map(|q| q.with_cost(1.0)).collect();
+        let blind = BatchContext {
+            now: ctx.now,
+            queue: &nominal,
+            profile: ctx.profile,
+        };
+        self.inner.decide(&blind)
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+fn main() {
+    const QPS: f64 = 250.0;
+    // A BERT-only workload with heavily variable input lengths
+    // (Gamma(1.5) costs: CV ≈ 0.82, occasional 4-8x inputs).
+    let arrivals = TraceBuilder::new(vec![ModelFamily::Bert])
+        .seed(5)
+        .variable_input_sizes(1.5)
+        .build(&FlatTrace {
+            qps: QPS,
+            secs: 120,
+        });
+    let mean_cost: f64 =
+        arrivals.iter().map(|a| a.cost).sum::<f64>() / arrivals.len() as f64;
+    println!(
+        "§7 var-size inputs: {} BERT queries at {QPS:.0} QPS, mean cost {:.2}, max {:.2}\n",
+        arrivals.len(),
+        mean_cost,
+        arrivals.iter().map(|a| a.cost).fold(0.0, f64::max)
+    );
+
+    let mut config = SystemConfig::paper_testbed();
+    config.realloc_period_secs = 1e9;
+    config.burst_threshold = f64::INFINITY;
+    let mut provision = FamilyMap::default();
+    provision[ModelFamily::Bert] = QPS * mean_cost;
+    config.provision_demand = Some(provision);
+
+    let policies: Vec<Box<dyn BatchPolicy>> = vec![
+        Box::new(ProteusBatching),
+        Box::new(CostOblivious::default()),
+    ];
+    let mut table = TextTable::new(vec![
+        "batching",
+        "SLO violation ratio",
+        "effective acc (%)",
+    ]);
+    for policy in policies {
+        let name = policy.name();
+        let mut system = ServingSystem::new(
+            config.clone(),
+            Box::new(ProteusAllocator::default()),
+            policy,
+        );
+        let s = system.run(&arrivals).metrics.summary();
+        table.row(vec![
+            name.to_string(),
+            fmt_f(s.slo_violation_ratio, 4),
+            fmt_f(s.effective_accuracy_pct(), 2),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nThe cost-aware policy sizes batches against the summed input cost\n\
+         (a batch of long inputs is smaller), so its T_max_wait stays honest\n\
+         and fewer first-in-queue queries expire — the §7 direction, realized."
+    );
+}

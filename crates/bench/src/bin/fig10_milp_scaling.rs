@@ -1,0 +1,117 @@
+//! Fig. 10 — scalability of the resource-management MILP in its three
+//! input dimensions: devices (d), model variants (m) and query types (q).
+//!
+//! The paper measures Gurobi; this reproduction measures the workspace's
+//! own branch-and-bound solver on the faithful per-device formulation, so
+//! absolute times differ — the target is the *growth shape* (superlinear in
+//! each dimension) and that solves stay far under the 30 s invocation
+//! period at the paper-testbed scale. Ranges are reduced accordingly.
+
+use std::time::Instant;
+
+use proteus_core::allocation::milp::{solve_allocation, Formulation, MilpConfig};
+use proteus_core::schedulers::AllocContext;
+use proteus_core::FamilyMap;
+use proteus_metrics::report::{fmt_f, TextTable};
+use proteus_profiler::{Cluster, ModelFamily, ModelZoo, ProfileStore, SloPolicy, VariantSpec};
+
+/// Builds a zoo with only the first `per_family` variants of each of the
+/// first `families` families.
+fn sub_zoo(families: usize, per_family: usize) -> ModelZoo {
+    let full = ModelZoo::paper_table3();
+    let mut zoo = ModelZoo::new();
+    for &family in ModelFamily::ALL.iter().take(families) {
+        for v in full.variants_of(family).take(per_family) {
+            zoo.register(VariantSpec::new(
+                v.id(),
+                v.name(),
+                v.accuracy(),
+                v.reference_latency_ms(),
+                v.memory_mib(),
+                v.memory_per_item_mib(),
+            ));
+        }
+    }
+    zoo
+}
+
+fn time_solve(cluster: &Cluster, zoo: &ModelZoo, families: usize, per_device: bool) -> f64 {
+    let store = ProfileStore::build(zoo, SloPolicy::default());
+    let ctx = AllocContext {
+        cluster,
+        zoo,
+        store: &store,
+    };
+    let demand = FamilyMap::from_fn(|f| {
+        if f.index() < families {
+            30.0 + 5.0 * f.index() as f64
+        } else {
+            0.0
+        }
+    });
+    let config = MilpConfig {
+        formulation: if per_device {
+            Formulation::PerDevice
+        } else {
+            Formulation::TypeAggregated
+        },
+        ..MilpConfig::default()
+    };
+    let start = Instant::now();
+    let _ = solve_allocation(&ctx, &demand, None, &config);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("Fig. 10: MILP solve time vs problem dimensions\n");
+
+    // ---- devices (d): per-device formulation, 4 families x 4 variants.
+    let zoo = sub_zoo(4, 4);
+    let mut t = TextTable::new(vec!["devices", "per-device MILP (s)", "aggregated MILP (s)"]);
+    for &d in &[6u32, 12, 20, 32, 48] {
+        let cluster = Cluster::with_counts(d / 2, d / 4, d - d / 2 - d / 4);
+        t.row(vec![
+            d.to_string(),
+            fmt_f(time_solve(&cluster, &zoo, 4, true), 3),
+            fmt_f(time_solve(&cluster, &zoo, 4, false), 3),
+        ]);
+    }
+    println!("Scaling in devices (m = 16 variants, q = 4):\n{}", t.render());
+
+    // ---- variants (m): fixed 12-device cluster, 6 families, growing zoo.
+    let cluster = Cluster::with_counts(6, 3, 3);
+    let mut t = TextTable::new(vec!["variants", "per-device MILP (s)", "aggregated MILP (s)"]);
+    for &per in &[1usize, 2, 3, 4, 5] {
+        let zoo = sub_zoo(6, per);
+        t.row(vec![
+            zoo.len().to_string(),
+            fmt_f(time_solve(&cluster, &zoo, 6, true), 3),
+            fmt_f(time_solve(&cluster, &zoo, 6, false), 3),
+        ]);
+    }
+    println!("Scaling in variants (d = 12, q = 6):\n{}", t.render());
+
+    // ---- query types (q): fixed cluster, 4 variants per family.
+    let mut t = TextTable::new(vec!["query types", "per-device MILP (s)", "aggregated MILP (s)"]);
+    for &q in &[1usize, 3, 5, 7, 9] {
+        let zoo = sub_zoo(q, 4);
+        t.row(vec![
+            q.to_string(),
+            fmt_f(time_solve(&cluster, &zoo, q, true), 3),
+            fmt_f(time_solve(&cluster, &zoo, q, false), 3),
+        ]);
+    }
+    println!("Scaling in query types (d = 12, m = 4 per family):\n{}", t.render());
+
+    // ---- the §6.8 headline: the operating point used by the system.
+    let zoo = ModelZoo::paper_table3();
+    let cluster = Cluster::paper_testbed();
+    let secs = time_solve(&cluster, &zoo, 9, false);
+    println!(
+        "Operating point (paper testbed, 40 devices, 51 variants, 9 types,\n\
+         aggregated formulation as used at runtime): {:.3} s per solve\n\
+         (paper's Gurobi average: 4.2 s; both sit comfortably off the query\n\
+         critical path and inside the 30 s invocation period).",
+        secs
+    );
+}

@@ -1,0 +1,97 @@
+//! Fig. 4 — end-to-end comparison on the Twitter-like diurnal trace.
+//!
+//! For each of the five systems: demand/throughput timeseries, effective
+//! accuracy, SLO violations, and the summary bars (average throughput, max
+//! accuracy drop, violation ratio).
+
+use proteus_bench::{
+    demand_per_minute, paper_contenders, paper_trace, per_minute, run_contender, summary_headers,
+    summary_row,
+};
+use proteus_core::system::SystemConfig;
+use proteus_metrics::report::{fmt_f, sparkline, TextTable};
+
+fn main() {
+    let (trace, arrivals) = paper_trace(42);
+    println!(
+        "Fig. 4: end-to-end on the diurnal trace ({} queries, 24 min, peak ~1000 QPS)\n",
+        arrivals.len()
+    );
+
+    let demand = demand_per_minute(&trace);
+    println!("demand (QPS/min):     {}", sparkline(&demand));
+
+    // Per-system minute series: (name, throughput, accuracy %, violations).
+    type MinuteRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut summary_table = TextTable::new(summary_headers());
+    let mut minute_rows: Vec<MinuteRow> = Vec::new();
+
+    for contender in paper_contenders() {
+        let outcome = run_contender(&contender, SystemConfig::paper_testbed(), &arrivals);
+        let ts = outcome.metrics.timeseries();
+        let served: Vec<f64> = ts.iter().map(|b| b.served() as f64).collect();
+        let acc: Vec<f64> = ts
+            .iter()
+            .map(|b| b.effective_accuracy().map_or(f64::NAN, |a| a * 100.0))
+            .collect();
+        let viol: Vec<f64> = ts.iter().map(|b| b.violations() as f64).collect();
+        let s = outcome.metrics.summary();
+        summary_table.row(summary_row(contender.name, &s));
+        println!(
+            "{:<16} throughput {}",
+            contender.name,
+            sparkline(&per_minute(&served))
+        );
+        minute_rows.push((
+            contender.name.to_string(),
+            per_minute(&served),
+            per_minute(&acc),
+            per_minute(&viol),
+        ));
+    }
+
+    println!("\nSummary (the bar charts of Fig. 4):\n");
+    print!("{}", summary_table.render());
+
+    // Compact per-4-minute timeseries table for the three panels.
+    for (title, idx) in [("throughput (QPS)", 1usize), ("effective accuracy (%)", 2), ("SLO violations (/s)", 3)] {
+        println!("\n{title} by 4-minute window:");
+        let mut t = TextTable::new(vec![
+            "system", "0-4", "4-8", "8-12", "12-16", "16-20", "20-24",
+        ]);
+        for row in &minute_rows {
+            let series = match idx {
+                1 => &row.1,
+                2 => &row.2,
+                _ => &row.3,
+            };
+            let windows: Vec<String> = series
+                .chunks(4)
+                .map(|c| {
+                    let vals: Vec<f64> = c.iter().copied().filter(|v| v.is_finite()).collect();
+                    if vals.is_empty() {
+                        "-".to_string()
+                    } else {
+                        fmt_f(vals.iter().sum::<f64>() / vals.len() as f64, 1)
+                    }
+                })
+                .take(6)
+                .collect();
+            let mut cells = vec![row.0.clone()];
+            cells.extend(windows);
+            while cells.len() < 7 {
+                cells.push("-".into());
+            }
+            t.row(cells);
+        }
+        print!("{}", t.render());
+    }
+
+    println!(
+        "\nExpected shape (paper): Clipper-HA collapses at peaks with the most\n\
+         violations; Clipper-HT tracks demand but drops ~20% accuracy always;\n\
+         Sommelier scales accuracy but over-drops (static placement); INFaaS\n\
+         scales with a greedy heuristic (moderate drop, elevated violations at\n\
+         peaks); Proteus has the smallest max drop and fewest violations."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig. 5 — responsiveness to a macro-scale demand burst.
+//!
+//! A flat low load with a sudden high plateau in the middle; measures how
+//! fast each system re-allocates and what it costs in violations and
+//! accuracy.
+
+use proteus_bench::{paper_contenders, per_minute, run_contender, summary_headers, summary_row};
+use proteus_core::system::SystemConfig;
+use proteus_metrics::report::{fmt_f, sparkline, TextTable};
+use proteus_workloads::{BurstyTrace, TraceBuilder};
+
+fn main() {
+    let trace = BurstyTrace::paper_like(200.0, 1100.0);
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(11)
+        .build(&trace);
+    println!(
+        "Fig. 5: bursty workload ({} queries; {:.0} -> {:.0} QPS plateau in the middle third)\n",
+        arrivals.len(),
+        trace.low_qps,
+        trace.high_qps
+    );
+
+    let mut summary = TextTable::new({
+        let mut h = summary_headers();
+        h.push("reallocs");
+        h.push("burst-triggered");
+        h
+    });
+    for contender in paper_contenders() {
+        let outcome = run_contender(&contender, SystemConfig::paper_testbed(), &arrivals);
+        let ts = outcome.metrics.timeseries();
+        let served: Vec<f64> = ts.iter().map(|b| b.served() as f64).collect();
+        let viol: Vec<f64> = ts.iter().map(|b| b.violations() as f64).collect();
+        println!(
+            "{:<16} throughput {}  violations {}",
+            contender.name,
+            sparkline(&per_minute(&served)),
+            sparkline(&per_minute(&viol)),
+        );
+        // Violations in the first minute of the burst vs the rest of it:
+        // a responsive system pays once, then settles.
+        let start = (trace.burst_start / 60) as usize;
+        let end = (trace.burst_end / 60) as usize;
+        let vm = per_minute(&viol);
+        let first_min = vm.get(start).copied().unwrap_or(0.0);
+        let settled: f64 = vm[(start + 1).min(vm.len())..end.min(vm.len())]
+            .iter()
+            .copied()
+            .sum::<f64>()
+            / ((end - start).saturating_sub(1).max(1)) as f64;
+        println!(
+            "{:<16} violations/s: burst onset {:.1}, settled burst {:.1}",
+            "", first_min, settled
+        );
+        let s = outcome.metrics.summary();
+        let mut row = summary_row(contender.name, &s);
+        row.push(outcome.reallocations.to_string());
+        row.push(outcome.burst_reallocations.to_string());
+        summary.row(row);
+    }
+    println!();
+    print!("{}", summary.render());
+    println!(
+        "\nExpected shape (paper): INFaaS reacts fastest (allocation on the\n\
+         critical path); Proteus takes an initial violation spike at the burst\n\
+         onset, then re-allocates and holds the lowest violations and drop;\n\
+         Clipper variants cannot adapt at all.\n\
+         Proteus settled-burst violations should be well below its onset spike: {}",
+        fmt_f(0.0, 0)
+    );
+}

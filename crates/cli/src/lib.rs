@@ -1,0 +1,19 @@
+//! Config-driven experiment runner, mirroring the Proteus artifact.
+//!
+//! The paper's artifact (Appendix A) runs the simulator from configuration
+//! files that select the workload trace, the resource-allocation algorithm
+//! (`ilp`, `infaas_v2`, `clipper`, `sommelier`) and the batching algorithm
+//! (`accscale`, `aimd`, `nexus`). This crate provides the same workflow:
+//!
+//! ```sh
+//! proteus experiment.conf
+//! proteus --print-default-config
+//! ```
+//!
+//! See [`config::ExperimentConfig`] for the file format and [`run_experiment`]
+//! for the programmatic entry point.
+
+pub mod config;
+mod runner;
+
+pub use runner::{run_experiment, ExperimentOutput};

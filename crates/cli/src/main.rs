@@ -1,0 +1,81 @@
+//! `proteus` — run a serving experiment from a configuration file.
+//!
+//! ```sh
+//! proteus experiment.conf          # run the experiment
+//! proteus --print-default-config   # starting-point config on stdout
+//! proteus --help
+//! ```
+
+use std::process::ExitCode;
+
+use proteus_cli::config::ExperimentConfig;
+use proteus_cli::run_experiment;
+
+const DEFAULT_CONFIG: &str = "\
+# Proteus experiment configuration (artifact-compatible knobs).
+trace = diurnal            # diurnal | bursty | flat
+trace_secs = 1440
+base_qps = 200
+peak_qps = 1000
+seed = 42
+model_allocation = ilp     # ilp | infaas_v2 | clipper_ht | clipper_ha | sommelier
+batching = accscale        # accscale | aimd | nexus | static:N
+slo_multiplier = 2.0
+cluster = 20, 10, 10       # CPU, GTX 1080 Ti, V100 workers
+realloc_period = 30
+beta = 1.05
+output = summary           # summary | timeseries | families | latency
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") => {
+            eprintln!(
+                "usage: proteus <config-file>\n       proteus --print-default-config\n\n\
+                 Runs a Proteus inference-serving experiment described by a\n\
+                 `key = value` configuration file (see --print-default-config)."
+            );
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some("--print-default-config") => {
+            print!("{DEFAULT_CONFIG}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config: ExperimentConfig = match text.parse() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "running: {:?} allocation, {:?} batching, {:?} trace ({} s, peak {} QPS)",
+                config.allocation, config.batching, config.trace, config.trace_secs, config.peak_qps
+            );
+            let output = run_experiment(&config);
+            print!("{}", output.report);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DEFAULT_CONFIG;
+    use proteus_cli::config::ExperimentConfig;
+
+    #[test]
+    fn default_config_text_parses_to_defaults() {
+        let parsed: ExperimentConfig = DEFAULT_CONFIG.parse().unwrap();
+        assert_eq!(parsed, ExperimentConfig::default());
+    }
+}

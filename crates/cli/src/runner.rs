@@ -1,0 +1,246 @@
+//! Builds and runs a serving experiment from an [`ExperimentConfig`].
+
+use proteus_core::batching::{
+    AimdBatching, BatchPolicy, NexusBatching, ProteusBatching, StaticBatching,
+};
+use proteus_core::schedulers::{
+    Allocator, ClipperAllocator, ClipperMode, InfaasAccuracyAllocator, ProteusAllocator,
+    SommelierAllocator,
+};
+use proteus_core::system::{RunOutcome, ServingSystem, SystemConfig};
+use proteus_metrics::report::{fmt_f, TextTable};
+use proteus_profiler::{Cluster, SloPolicy};
+use proteus_workloads::{BurstyTrace, DemandTrace, DiurnalTrace, FlatTrace, TraceBuilder};
+
+use crate::config::{AllocationKind, BatchingKind, ExperimentConfig, OutputKind, TraceKind};
+
+/// Everything a finished experiment produced.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// The raw run outcome (metrics, plans, counters).
+    pub outcome: RunOutcome,
+    /// The rendered report, per the config's `output` selection.
+    pub report: String,
+}
+
+fn build_allocator(kind: AllocationKind) -> Box<dyn Allocator> {
+    match kind {
+        AllocationKind::Ilp => Box::new(ProteusAllocator::default()),
+        AllocationKind::InfaasV2 => Box::new(InfaasAccuracyAllocator::default()),
+        AllocationKind::ClipperHt => Box::new(ClipperAllocator::new(ClipperMode::HighThroughput)),
+        AllocationKind::ClipperHa => Box::new(ClipperAllocator::new(ClipperMode::HighAccuracy)),
+        AllocationKind::Sommelier => Box::new(SommelierAllocator::default()),
+    }
+}
+
+fn build_batching(kind: BatchingKind) -> Box<dyn BatchPolicy> {
+    match kind {
+        BatchingKind::AccScale => Box::new(ProteusBatching),
+        BatchingKind::Aimd => Box::new(AimdBatching::default()),
+        BatchingKind::Nexus => Box::new(NexusBatching),
+        BatchingKind::Static(n) => Box::new(StaticBatching::new(n)),
+    }
+}
+
+fn build_trace(config: &ExperimentConfig) -> Box<dyn DemandTrace> {
+    match config.trace {
+        TraceKind::Diurnal => Box::new(DiurnalTrace::paper_like(
+            config.trace_secs,
+            config.base_qps,
+            config.peak_qps,
+            config.seed,
+        )),
+        TraceKind::Bursty => {
+            let secs = config.trace_secs;
+            Box::new(BurstyTrace {
+                low_qps: config.base_qps,
+                high_qps: config.peak_qps,
+                burst_start: secs / 3,
+                burst_end: 2 * secs / 3,
+                secs,
+            })
+        }
+        TraceKind::Flat => Box::new(FlatTrace {
+            qps: config.peak_qps,
+            secs: config.trace_secs,
+        }),
+    }
+}
+
+/// Runs one experiment and renders its report.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
+    let trace = build_trace(config);
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(config.seed)
+        .build(trace.as_ref());
+
+    let mut system_config = SystemConfig::paper_testbed();
+    system_config.cluster = Cluster::with_counts(
+        config.cluster.0,
+        config.cluster.1,
+        config.cluster.2,
+    );
+    system_config.slo = SloPolicy::with_multiplier(config.slo_multiplier);
+    system_config.realloc_period_secs = config.realloc_period_secs;
+    system_config.demand_headroom = config.beta;
+    system_config.seed = config.seed;
+
+    let mut system = ServingSystem::new(
+        system_config,
+        build_allocator(config.allocation),
+        build_batching(config.batching),
+    );
+    let outcome = system.run(&arrivals);
+    let report = render(config, &outcome);
+    ExperimentOutput { outcome, report }
+}
+
+fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
+    match config.output {
+        OutputKind::Summary => {
+            let s = outcome.metrics.summary();
+            let mut t = TextTable::new(vec!["metric", "value"]);
+            t.row(vec!["arrived".into(), s.total_arrived.to_string()]);
+            t.row(vec!["served".into(), s.total_served.to_string()]);
+            t.row(vec!["dropped".into(), s.total_dropped.to_string()]);
+            t.row(vec!["avg throughput (QPS)".into(), fmt_f(s.avg_throughput_qps, 1)]);
+            t.row(vec![
+                "effective accuracy (%)".into(),
+                fmt_f(s.effective_accuracy_pct(), 2),
+            ]);
+            t.row(vec![
+                "max accuracy drop (%)".into(),
+                fmt_f(s.max_accuracy_drop_pct(), 2),
+            ]);
+            t.row(vec![
+                "SLO violation ratio".into(),
+                fmt_f(s.slo_violation_ratio, 4),
+            ]);
+            t.row(vec!["re-allocations".into(), outcome.reallocations.to_string()]);
+            t.render()
+        }
+        OutputKind::Timeseries => {
+            let mut t = TextTable::new(vec![
+                "second", "arrived", "served", "violations", "effective_acc",
+            ]);
+            for (i, b) in outcome.metrics.timeseries().iter().enumerate() {
+                t.row(vec![
+                    i.to_string(),
+                    b.arrived.to_string(),
+                    b.served().to_string(),
+                    b.violations().to_string(),
+                    b.effective_accuracy()
+                        .map_or("-".into(), |a| fmt_f(a * 100.0, 2)),
+                ]);
+            }
+            t.to_csv()
+        }
+        OutputKind::Latency => {
+            let mut t = TextTable::new(vec![
+                "scope", "served", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)",
+            ]);
+            let row = |t: &mut TextTable, scope: String, h: &proteus_metrics::LatencyHistogram| {
+                let pct = |q: f64| {
+                    h.percentile(q)
+                        .map_or("-".into(), |v| fmt_f(v.as_millis_f64(), 1))
+                };
+                t.row(vec![
+                    scope,
+                    h.count().to_string(),
+                    pct(0.5),
+                    pct(0.9),
+                    pct(0.99),
+                    fmt_f(h.max().as_millis_f64(), 1),
+                ]);
+            };
+            row(&mut t, "all".into(), outcome.metrics.latency_histogram());
+            for f in outcome.metrics.family_summaries() {
+                if let Some(h) = outcome.metrics.family_latency(f.family) {
+                    row(&mut t, f.family.label().to_string(), h);
+                }
+            }
+            t.render()
+        }
+        OutputKind::Families => {
+            let mut t = TextTable::new(vec![
+                "family",
+                "arrived",
+                "throughput (QPS)",
+                "effective acc (%)",
+                "violation ratio",
+            ]);
+            for f in outcome.metrics.family_summaries() {
+                t.row(vec![
+                    f.family.label().to_string(),
+                    f.summary.total_arrived.to_string(),
+                    fmt_f(f.summary.avg_throughput_qps, 1),
+                    fmt_f(f.summary.effective_accuracy_pct(), 2),
+                    fmt_f(f.summary.slo_violation_ratio, 4),
+                ]);
+            }
+            t.render()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(extra: &str) -> ExperimentConfig {
+        format!(
+            "trace = flat\ntrace_secs = 8\npeak_qps = 40\nbase_qps = 0\ncluster = 5,2,2\n{extra}"
+        )
+        .parse()
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_experiment_runs() {
+        let out = run_experiment(&quick_config(""));
+        let s = out.outcome.metrics.summary();
+        assert!(s.total_arrived > 100);
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert!(out.report.contains("effective accuracy"));
+    }
+
+    #[test]
+    fn timeseries_output_is_csv() {
+        let out = run_experiment(&quick_config("output = timeseries"));
+        let header = out.report.lines().next().unwrap();
+        assert_eq!(header, "second,arrived,served,violations,effective_acc");
+        assert!(out.report.lines().count() > 5);
+    }
+
+    #[test]
+    fn families_output_lists_families() {
+        let out = run_experiment(&quick_config("output = families"));
+        assert!(out.report.contains("EfficientNet"));
+    }
+
+    #[test]
+    fn latency_output_reports_percentiles() {
+        let out = run_experiment(&quick_config("output = latency"));
+        assert!(out.report.contains("p99"));
+        let all = out.report.lines().nth(2).unwrap();
+        assert!(all.starts_with("all"));
+    }
+
+    #[test]
+    fn every_algorithm_combination_runs() {
+        for alloc in ["ilp", "infaas_v2", "clipper_ht", "clipper_ha", "sommelier"] {
+            for batch in ["accscale", "aimd", "nexus", "static:2"] {
+                let cfg = quick_config(&format!(
+                    "model_allocation = {alloc}\nbatching = {batch}"
+                ));
+                let out = run_experiment(&cfg);
+                let s = out.outcome.metrics.summary();
+                assert_eq!(
+                    s.total_arrived,
+                    s.total_served + s.total_dropped,
+                    "{alloc}/{batch}"
+                );
+            }
+        }
+    }
+}

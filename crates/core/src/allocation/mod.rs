@@ -1,0 +1,324 @@
+//! Resource allocation plans and the MILP that produces them (§4).
+//!
+//! An [`AllocationPlan`] answers the three coupled questions of the paper:
+//! which model variants to host (*model selection*), on which devices
+//! (*model placement*), and what fraction of each application's queries each
+//! device receives (*query assignment*, the `y(d,q)` of Table 1).
+//!
+//! [`milp`] builds the optimization of Eqs. 1–7 and decodes its solution
+//! into a plan.
+
+pub mod milp;
+
+use std::collections::HashMap;
+
+use proteus_profiler::{Cluster, DeviceId, ModelFamily, ModelZoo, ProfileStore, VariantId};
+
+use crate::FamilyMap;
+
+/// Everything an allocator needs to know about the serving environment.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocContext<'a> {
+    /// The fixed heterogeneous cluster.
+    pub cluster: &'a Cluster,
+    /// The registered model variants.
+    pub zoo: &'a ModelZoo,
+    /// Profiled latency/throughput/memory data.
+    pub store: &'a ProfileStore,
+}
+
+/// A complete resource-allocation decision: per-device variant assignment
+/// plus per-family routing weights and the resulting capacity.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_core::AllocationPlan;
+/// use proteus_profiler::{DeviceId, ModelFamily, VariantId};
+///
+/// let mut plan = AllocationPlan::empty(4);
+/// let variant = VariantId { family: ModelFamily::ResNet, index: 0 };
+/// plan.assign(DeviceId(2), Some(variant));
+/// plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(2), 1.0)]);
+/// assert_eq!(plan.assignment(DeviceId(2)), Some(variant));
+/// assert_eq!(plan.routing(ModelFamily::ResNet).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationPlan {
+    assignments: Vec<Option<VariantId>>,
+    routing: FamilyMap<Vec<(DeviceId, f64)>>,
+    capacity: FamilyMap<f64>,
+    /// Factor by which target demand had to be shrunk before the MILP became
+    /// feasible (1.0 = full demand served; see §4 "Solving the MILP").
+    shrink: f64,
+}
+
+impl AllocationPlan {
+    /// An empty plan (no models hosted) for a cluster of `num_devices`.
+    pub fn empty(num_devices: usize) -> Self {
+        Self {
+            assignments: vec![None; num_devices],
+            routing: FamilyMap::default(),
+            capacity: FamilyMap::default(),
+            shrink: 1.0,
+        }
+    }
+
+    /// Number of devices this plan covers.
+    pub fn num_devices(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Assigns (or clears) the variant hosted on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn assign(&mut self, device: DeviceId, variant: Option<VariantId>) {
+        self.assignments[device.0 as usize] = variant;
+    }
+
+    /// The variant hosted on `device`, if any.
+    ///
+    /// Devices beyond the plan's range report `None` — a plan computed
+    /// before an elastic device came online simply does not cover it yet.
+    pub fn assignment(&self, device: DeviceId) -> Option<VariantId> {
+        self.assignments.get(device.0 as usize).copied().flatten()
+    }
+
+    /// Iterates over `(device, variant)` for every hosting device.
+    pub fn assignments(&self) -> impl Iterator<Item = (DeviceId, VariantId)> + '_ {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (DeviceId(i as u32), v)))
+    }
+
+    /// Replaces the routing entries for `family`.
+    ///
+    /// Entries are `(device, weight)` with non-negative weights; the router
+    /// normalizes, so weights need not sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn set_routing(&mut self, family: ModelFamily, entries: Vec<(DeviceId, f64)>) {
+        for &(d, w) in &entries {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "routing weight for {family} on {d} must be non-negative, got {w}"
+            );
+        }
+        self.routing[family] = entries;
+    }
+
+    /// The routing entries for `family` (empty = no host, queries dropped).
+    pub fn routing(&self, family: ModelFamily) -> &[(DeviceId, f64)] {
+        &self.routing[family]
+    }
+
+    /// Sets the planned serving capacity for `family` in QPS.
+    pub fn set_capacity(&mut self, family: ModelFamily, qps: f64) {
+        self.capacity[family] = qps;
+    }
+
+    /// Planned serving capacity of `family` in QPS.
+    pub fn capacity(&self, family: ModelFamily) -> f64 {
+        self.capacity[family]
+    }
+
+    /// Total planned capacity over all families.
+    pub fn total_capacity(&self) -> f64 {
+        self.capacity.total()
+    }
+
+    /// Records the demand shrink factor (≥ 1.0) applied before feasibility.
+    pub fn set_shrink(&mut self, shrink: f64) {
+        self.shrink = shrink;
+    }
+
+    /// Demand shrink factor applied before the MILP became feasible
+    /// (1.0 = none).
+    pub fn shrink(&self) -> f64 {
+        self.shrink
+    }
+
+    /// The planned effective accuracy: capacity-weighted mean accuracy over
+    /// hosting devices, per family.
+    pub fn planned_accuracy(&self, ctx: &AllocContext<'_>) -> FamilyMap<f64> {
+        let mut acc = FamilyMap::<f64>::default();
+        let mut cap = FamilyMap::<f64>::default();
+        for (device, variant) in self.assignments() {
+            let Some(spec) = ctx.cluster.device(device) else {
+                continue;
+            };
+            let qps = ctx.store.peak_qps(variant, spec.device_type);
+            acc[variant.family] += qps * ctx.zoo.variant(variant).map_or(0.0, |v| v.accuracy());
+            cap[variant.family] += qps;
+        }
+        FamilyMap::from_fn(|f| if cap[f] > 0.0 { acc[f] / cap[f] } else { 0.0 })
+    }
+
+    /// Checks structural invariants of the plan against the environment:
+    /// every routed device hosts a feasible variant of the right family, and
+    /// every assignment is memory/SLO-feasible on its device type. Returns a
+    /// human-readable violation description, or `None` if valid.
+    pub fn validate(&self, ctx: &AllocContext<'_>) -> Option<String> {
+        if self.assignments.len() != ctx.cluster.len() {
+            return Some(format!(
+                "plan covers {} devices but cluster has {}",
+                self.assignments.len(),
+                ctx.cluster.len()
+            ));
+        }
+        for (device, variant) in self.assignments() {
+            let Some(spec) = ctx.cluster.device(device) else {
+                return Some(format!("assignment references unknown device {device}"));
+            };
+            match ctx.store.profile(variant, spec.device_type) {
+                Some(p) if p.is_feasible() => {}
+                _ => {
+                    return Some(format!("{variant} is infeasible on {device} ({})", spec.device_type))
+                }
+            }
+        }
+        for family in ModelFamily::ALL {
+            let mut seen = HashMap::new();
+            for &(device, weight) in self.routing(family) {
+                if weight < 0.0 || !weight.is_finite() {
+                    return Some(format!("negative routing weight for {family}"));
+                }
+                if seen.insert(device, ()).is_some() {
+                    return Some(format!("duplicate routing entry for {family} on {device}"));
+                }
+                match self.assignment(device) {
+                    Some(v) if v.family == family => {}
+                    Some(v) => {
+                        return Some(format!(
+                            "routing sends {family} to {device}, which hosts {v}"
+                        ))
+                    }
+                    None => {
+                        return Some(format!("routing sends {family} to empty device {device}"))
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_profiler::SloPolicy;
+
+    fn env() -> (Cluster, ModelZoo, ProfileStore) {
+        let cluster = Cluster::with_counts(2, 1, 1);
+        let zoo = ModelZoo::paper_table3();
+        let store = ProfileStore::build(&zoo, SloPolicy::default());
+        (cluster, zoo, store)
+    }
+
+    fn vid(family: ModelFamily, index: u8) -> VariantId {
+        VariantId { family, index }
+    }
+
+    #[test]
+    fn assignment_round_trip() {
+        let mut plan = AllocationPlan::empty(3);
+        assert_eq!(plan.num_devices(), 3);
+        plan.assign(DeviceId(1), Some(vid(ModelFamily::ResNet, 2)));
+        assert_eq!(plan.assignment(DeviceId(1)), Some(vid(ModelFamily::ResNet, 2)));
+        assert_eq!(plan.assignment(DeviceId(0)), None);
+        assert_eq!(plan.assignments().count(), 1);
+        plan.assign(DeviceId(1), None);
+        assert_eq!(plan.assignments().count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_plan() {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext {
+            cluster: &cluster,
+            zoo: &zoo,
+            store: &store,
+        };
+        let mut plan = AllocationPlan::empty(4);
+        // Device 3 is the V100; host EfficientNet-b4 there.
+        plan.assign(DeviceId(3), Some(vid(ModelFamily::EfficientNet, 4)));
+        plan.set_routing(ModelFamily::EfficientNet, vec![(DeviceId(3), 1.0)]);
+        assert_eq!(plan.validate(&ctx), None);
+    }
+
+    #[test]
+    fn validate_rejects_family_mismatch() {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext {
+            cluster: &cluster,
+            zoo: &zoo,
+            store: &store,
+        };
+        let mut plan = AllocationPlan::empty(4);
+        plan.assign(DeviceId(3), Some(vid(ModelFamily::EfficientNet, 0)));
+        plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(3), 1.0)]);
+        assert!(plan.validate(&ctx).unwrap().contains("hosts"));
+    }
+
+    #[test]
+    fn validate_rejects_routing_to_empty_device() {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext {
+            cluster: &cluster,
+            zoo: &zoo,
+            store: &store,
+        };
+        let mut plan = AllocationPlan::empty(4);
+        plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(0), 1.0)]);
+        assert!(plan.validate(&ctx).unwrap().contains("empty device"));
+    }
+
+    #[test]
+    fn validate_rejects_infeasible_assignment() {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext {
+            cluster: &cluster,
+            zoo: &zoo,
+            store: &store,
+        };
+        let mut plan = AllocationPlan::empty(4);
+        // GPT2-xl does not fit the 1080 Ti (device 2).
+        plan.assign(DeviceId(2), Some(vid(ModelFamily::Gpt2, 3)));
+        assert!(plan.validate(&ctx).unwrap().contains("infeasible"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_cluster_size() {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext {
+            cluster: &cluster,
+            zoo: &zoo,
+            store: &store,
+        };
+        let plan = AllocationPlan::empty(2);
+        assert!(plan.validate(&ctx).unwrap().contains("cluster"));
+    }
+
+    #[test]
+    fn capacity_bookkeeping() {
+        let mut plan = AllocationPlan::empty(1);
+        plan.set_capacity(ModelFamily::Bert, 120.0);
+        assert_eq!(plan.capacity(ModelFamily::Bert), 120.0);
+        assert_eq!(plan.capacity(ModelFamily::T5), 0.0);
+        assert_eq!(plan.total_capacity(), 120.0);
+        plan.set_shrink(1.1);
+        assert_eq!(plan.shrink(), 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_routing_weight_panics() {
+        let mut plan = AllocationPlan::empty(1);
+        plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(0), -0.5)]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Baseline batching policies: Clipper's AIMD, Nexus' early-drop, static.
+
+use super::{BatchContext, BatchDecision, BatchPolicy, GLOBAL_MAX_BATCH};
+
+/// Clipper's reactive AIMD batching (§6.4).
+///
+/// Keeps a batch-size cap: each batch that completes without SLO misses
+/// grows the cap by one (additive increase); a batch containing a late query
+/// halves it (multiplicative decrease). Work-conserving and
+/// deadline-agnostic — the queue is drained as fast as the cap allows, and
+/// queries that expired in the queue are still executed (late), exactly the
+/// weakness Fig. 6 exposes on bursty arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct AimdBatching {
+    cap: u32,
+}
+
+impl Default for AimdBatching {
+    fn default() -> Self {
+        Self { cap: 1 }
+    }
+}
+
+impl AimdBatching {
+    /// Current batch-size cap (exposed for tests and ablations).
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+impl BatchPolicy for AimdBatching {
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision {
+        if ctx.queue.is_empty() {
+            return BatchDecision::Idle;
+        }
+        BatchDecision::Execute((ctx.queue.len() as u32).min(self.cap))
+    }
+
+    fn on_batch_complete(&mut self, any_late: bool) {
+        if any_late {
+            self.cap = (self.cap / 2).max(1);
+        } else {
+            self.cap = (self.cap + 1).min(GLOBAL_MAX_BATCH);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Nexus' proactive, work-conserving early-drop batching (§6.4).
+///
+/// Like Proteus it drops queries that can no longer meet their SLO and sizes
+/// batches so the first query's deadline is honoured — but it never waits:
+/// the moment the device is free, the largest currently-safe batch starts.
+/// Under bursty inter-arrivals this fires many small batches and wastes
+/// throughput, the behaviour Fig. 6 quantifies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NexusBatching;
+
+impl BatchPolicy for NexusBatching {
+    fn name(&self) -> &'static str {
+        "nexus"
+    }
+
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision {
+        if ctx.queue.is_empty() {
+            return BatchDecision::Idle;
+        }
+        let hopeless = ctx.unservable_prefix();
+        if hopeless > 0 {
+            return BatchDecision::DropExpired(hopeless);
+        }
+        let k = ctx.largest_safe_batch(ctx.max_batch());
+        BatchDecision::Execute(k.max(1))
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Fixed batch size (the "w/o adaptive batching" ablation uses 1).
+///
+/// Work-conserving: executes `min(size, queue length)` whenever the device
+/// is free. If the queue is shorter than `size` but non-empty, it waits
+/// briefly for the batch to fill, up to the first query's slack.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticBatching {
+    size: u32,
+}
+
+impl Default for StaticBatching {
+    fn default() -> Self {
+        Self { size: 1 }
+    }
+}
+
+impl StaticBatching {
+    /// Creates a policy with the given fixed batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u32) -> Self {
+        assert!(size >= 1, "batch size must be at least 1");
+        Self { size }
+    }
+
+    /// The configured batch size.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+impl BatchPolicy for StaticBatching {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision {
+        if ctx.queue.is_empty() {
+            return BatchDecision::Idle;
+        }
+        BatchDecision::Execute((ctx.queue.len() as u32).min(self.size))
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchPolicy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proteus_sim::SimTime;
+    use super::*;
+    use crate::batching::testutil::{profile, queue};
+
+    fn ctx<'a>(
+        now: SimTime,
+        q: &'a [crate::Query],
+        p: &'a proteus_profiler::Profile,
+    ) -> BatchContext<'a> {
+        BatchContext {
+            now,
+            queue: q,
+            profile: p,
+        }
+    }
+
+    #[test]
+    fn aimd_grows_additively_and_halves_on_miss() {
+        let mut aimd = AimdBatching::default();
+        assert_eq!(aimd.cap(), 1);
+        for _ in 0..5 {
+            aimd.on_batch_complete(false);
+        }
+        assert_eq!(aimd.cap(), 6);
+        aimd.on_batch_complete(true);
+        assert_eq!(aimd.cap(), 3);
+        aimd.on_batch_complete(true);
+        aimd.on_batch_complete(true);
+        assert_eq!(aimd.cap(), 1, "cap never drops below one");
+        for _ in 0..100 {
+            aimd.on_batch_complete(false);
+        }
+        assert_eq!(aimd.cap(), GLOBAL_MAX_BATCH, "cap saturates at the global max");
+    }
+
+    #[test]
+    fn aimd_executes_up_to_cap_immediately() {
+        let (p, slo) = profile();
+        let q = queue(10, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut aimd = AimdBatching { cap: 4 };
+        assert_eq!(
+            aimd.decide(&ctx(SimTime::ZERO, &q, &p)),
+            BatchDecision::Execute(4)
+        );
+        // Work-conserving even for a single query.
+        let one = queue(1, SimTime::ZERO, SimTime::ZERO, slo);
+        assert_eq!(
+            aimd.decide(&ctx(SimTime::ZERO, &one, &p)),
+            BatchDecision::Execute(1)
+        );
+    }
+
+    #[test]
+    fn aimd_is_deadline_agnostic() {
+        let (p, slo) = profile();
+        let q = queue(2, SimTime::ZERO, SimTime::ZERO, slo);
+        // Way past every deadline — AIMD still executes (late) instead of
+        // dropping.
+        let late = q[1].deadline + SimTime::from_secs(1);
+        let mut aimd = AimdBatching::default();
+        assert_eq!(aimd.decide(&ctx(late, &q, &p)), BatchDecision::Execute(1));
+    }
+
+    #[test]
+    fn nexus_never_waits() {
+        let (p, slo) = profile();
+        let q = queue(1, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut nexus = NexusBatching;
+        // Proteus would wait here; Nexus fires a batch of one immediately.
+        assert_eq!(
+            nexus.decide(&ctx(SimTime::ZERO, &q, &p)),
+            BatchDecision::Execute(1)
+        );
+    }
+
+    #[test]
+    fn nexus_drops_then_batches_safely() {
+        let (p, slo) = profile();
+        let q = queue(6, SimTime::ZERO, SimTime::from_millis(1), slo);
+        let late = q[0].deadline + SimTime::from_millis(1);
+        let mut nexus = NexusBatching;
+        match nexus.decide(&ctx(late, &q, &p)) {
+            BatchDecision::DropExpired(n) => assert!(n >= 1),
+            other => panic!("expected drop, got {other:?}"),
+        }
+        // With fresh queries, it sizes the batch against the first deadline.
+        let fresh = queue(40, SimTime::ZERO, SimTime::ZERO, slo);
+        match nexus.decide(&ctx(SimTime::ZERO, &fresh, &p)) {
+            BatchDecision::Execute(k) => {
+                assert!(k >= 1 && k <= p.max_batch());
+                assert!(SimTime::from_millis_f64(p.latency(k)) <= fresh[0].deadline);
+            }
+            other => panic!("expected execute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_batching_takes_min_of_queue_and_size() {
+        let (p, slo) = profile();
+        let q = queue(3, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut s = StaticBatching::new(8);
+        assert_eq!(s.decide(&ctx(SimTime::ZERO, &q, &p)), BatchDecision::Execute(3));
+        let mut s1 = StaticBatching::default();
+        assert_eq!(s1.size(), 1);
+        assert_eq!(s1.decide(&ctx(SimTime::ZERO, &q, &p)), BatchDecision::Execute(1));
+        assert_eq!(s1.decide(&ctx(SimTime::ZERO, &[], &p)), BatchDecision::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn static_zero_rejected() {
+        StaticBatching::new(0);
+    }
+
+    #[test]
+    fn policies_clone_independently() {
+        let mut a = AimdBatching::default();
+        a.on_batch_complete(false);
+        let boxed: Box<dyn BatchPolicy> = Box::new(a);
+        let cloned = boxed.clone();
+        assert_eq!(cloned.name(), "aimd");
+    }
+}

@@ -1,0 +1,302 @@
+//! Adaptive batching policies (§5 and the §6.4 baselines).
+//!
+//! Each worker owns one [`BatchPolicy`] instance. Whenever the worker is
+//! idle and its queue may have changed (arrival, batch completion, timer),
+//! it asks the policy what to do; the policy sees the FIFO queue, the
+//! current variant's [`Profile`] and the clock, and answers with a
+//! [`BatchDecision`].
+//!
+//! Four policies are implemented:
+//!
+//! * [`ProteusBatching`] — the paper's proactive, non-work-conserving
+//!   algorithm (Fig. 3): wait for more queries exactly as long as the first
+//!   query's deadline allows, never letting a queued query expire
+//!   needlessly.
+//! * [`NexusBatching`] — Nexus' work-conserving early-drop: execute the
+//!   largest deadline-safe batch immediately.
+//! * [`AimdBatching`] — Clipper's reactive additive-increase /
+//!   multiplicative-decrease on the batch-size cap.
+//! * [`StaticBatching`] — a fixed batch size (the "w/o adaptive batching"
+//!   ablation uses size 1).
+//!
+//! [`Profile::latency`] is in milliseconds; helpers here convert to
+//! [`SimTime`].
+
+mod baselines;
+mod proteus;
+
+pub use baselines::{AimdBatching, NexusBatching, StaticBatching};
+pub use proteus::ProteusBatching;
+
+use proteus_profiler::{Profile, MAX_BATCH};
+use proteus_sim::SimTime;
+
+use crate::Query;
+
+/// Everything a batching policy may observe when deciding.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The device's FIFO queue; `queue[0]` is the oldest query. All queries
+    /// belong to the variant's family, so deadlines are nondecreasing.
+    pub queue: &'a [Query],
+    /// Performance profile of the variant currently loaded on this device.
+    pub profile: &'a Profile,
+}
+
+impl BatchContext<'_> {
+    /// Batch execution latency as a [`SimTime`] span, assuming nominal
+    /// unit-cost inputs.
+    pub fn latency(&self, batch: u32) -> SimTime {
+        SimTime::from_millis_f64(self.profile.latency(batch))
+    }
+
+    /// Batch execution latency for a batch totalling `total_cost` input
+    /// units (§7 "Varying Input Sizes").
+    pub fn latency_for_cost(&self, total_cost: f64) -> SimTime {
+        SimTime::from_millis_f64(self.profile.latency_for_cost(total_cost.max(1e-9)))
+    }
+
+    /// Total input cost of the first `k` queued queries.
+    pub fn batch_cost(&self, k: usize) -> f64 {
+        self.queue.iter().take(k).map(|q| q.cost).sum()
+    }
+
+    /// Mean input cost over the queue (1.0 when empty) — the estimator for
+    /// a yet-unseen next query's cost.
+    pub fn mean_cost(&self) -> f64 {
+        if self.queue.is_empty() {
+            1.0
+        } else {
+            self.batch_cost(self.queue.len()) / self.queue.len() as f64
+        }
+    }
+
+    /// Execution latency of the first `k` queued queries, cost-weighted.
+    pub fn batch_latency(&self, k: u32) -> SimTime {
+        self.latency_for_cost(self.batch_cost(k as usize))
+    }
+
+    /// The policy-visible batch ceiling: the profile's SLO/memory-safe
+    /// maximum, floored at 1 so an infeasible placement still drains.
+    pub fn max_batch(&self) -> u32 {
+        self.profile.max_batch().max(1)
+    }
+
+    /// Number of leading queries that can no longer finish on time even if a
+    /// batch of one started right now.
+    pub fn unservable_prefix(&self) -> usize {
+        self.queue
+            .iter()
+            .take_while(|q| q.deadline < self.now + self.latency_for_cost(q.cost))
+            .count()
+    }
+
+    /// The largest batch `k ≤ limit` whose (cost-weighted) execution,
+    /// started now, finishes by the first query's deadline. Returns 0 for
+    /// an empty queue or when even a batch of one is too slow.
+    pub fn largest_safe_batch(&self, limit: u32) -> u32 {
+        let Some(first) = self.queue.first() else {
+            return 0;
+        };
+        let limit = limit.min(self.queue.len() as u32);
+        let mut best = 0;
+        let mut cost = 0.0;
+        for k in 1..=limit {
+            cost += self.queue[k as usize - 1].cost;
+            if self.now + self.latency_for_cost(cost) <= first.deadline {
+                best = k;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// What a worker should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Queue is empty (or policy has nothing to run): wait for arrivals.
+    Idle,
+    /// Drop the first `n` queries — they can no longer meet their SLO — and
+    /// ask again.
+    DropExpired(usize),
+    /// Start executing the first `n` queued queries immediately.
+    Execute(u32),
+    /// Do nothing until `t` (or until a new query arrives, whichever is
+    /// first), then ask again. This is the non-work-conserving case.
+    WaitUntil(SimTime),
+}
+
+/// A per-worker adaptive batching policy.
+///
+/// Implementations must be deterministic: the serving simulator relies on
+/// reproducible runs.
+pub trait BatchPolicy: std::fmt::Debug + Send {
+    /// Short name used in reports (e.g. `"proteus"`, `"aimd"`).
+    fn name(&self) -> &'static str;
+
+    /// Decides the next action for an idle worker.
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision;
+
+    /// Feedback after a batch finishes: `any_late` is true if any query in
+    /// the batch missed its deadline. Reactive policies (AIMD) adapt here.
+    fn on_batch_complete(&mut self, any_late: bool) {
+        let _ = any_late;
+    }
+
+    /// Clones the policy into a fresh per-worker instance.
+    fn clone_box(&self) -> Box<dyn BatchPolicy>;
+}
+
+impl Clone for Box<dyn BatchPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Global batch ceiling shared by reactive policies that do not consult the
+/// profile (re-exported from the profiler for convenience).
+pub const GLOBAL_MAX_BATCH: u32 = MAX_BATCH;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use proteus_profiler::{DeviceType, ModelFamily, ModelZoo, Profile, ProfileStore, SloPolicy};
+
+    use crate::query::{Query, QueryId};
+    use proteus_sim::SimTime;
+
+    /// A (profile, slo) pair for EfficientNet-b0 on a V100 — plenty of
+    /// batching headroom.
+    pub fn profile() -> (Profile, SimTime) {
+        let zoo = ModelZoo::paper_table3();
+        let store = ProfileStore::build(&zoo, SloPolicy::default());
+        let v = zoo.least_accurate(ModelFamily::EfficientNet).unwrap().id();
+        let p = store.profile(v, DeviceType::V100).unwrap().clone();
+        let slo = SimTime::from_millis_f64(store.slo_ms(ModelFamily::EfficientNet));
+        (p, slo)
+    }
+
+    /// Builds a FIFO queue of `n` queries arriving `gap` apart starting at
+    /// `start`, each with deadline `arrival + slo`.
+    pub fn queue(n: usize, start: SimTime, gap: SimTime, slo: SimTime) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                Query::new(
+                    QueryId(i as u64),
+                    ModelFamily::EfficientNet,
+                    start + gap * i as u64,
+                    slo,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{profile, queue};
+    use super::*;
+
+    #[test]
+    fn context_latency_converts_ms() {
+        let (p, _slo) = profile();
+        let ctx = BatchContext {
+            now: SimTime::ZERO,
+            queue: &[],
+            profile: &p,
+        };
+        let l = ctx.latency(4);
+        assert!((l.as_millis_f64() - p.latency(4)).abs() < 1e-9);
+        assert_eq!(ctx.max_batch(), p.max_batch());
+    }
+
+    #[test]
+    fn unservable_prefix_counts_hopeless_queries() {
+        let (p, slo) = profile();
+        let q = queue(3, SimTime::ZERO, SimTime::from_millis(1), slo);
+        // At a time far past every deadline, all three are unservable.
+        let late = SimTime::from_secs(10);
+        let ctx = BatchContext {
+            now: late,
+            queue: &q,
+            profile: &p,
+        };
+        assert_eq!(ctx.unservable_prefix(), 3);
+        // At time zero nothing is unservable.
+        let ctx = BatchContext {
+            now: SimTime::ZERO,
+            queue: &q,
+            profile: &p,
+        };
+        assert_eq!(ctx.unservable_prefix(), 0);
+    }
+
+    #[test]
+    fn cost_weighted_latency_matches_uniform_for_unit_costs() {
+        let (p, slo) = profile();
+        let q = queue(6, SimTime::ZERO, SimTime::ZERO, slo);
+        let ctx = BatchContext {
+            now: SimTime::ZERO,
+            queue: &q,
+            profile: &p,
+        };
+        assert_eq!(ctx.batch_cost(4), 4.0);
+        assert_eq!(ctx.mean_cost(), 1.0);
+        assert_eq!(ctx.batch_latency(4), ctx.latency(4));
+    }
+
+    #[test]
+    fn heavy_inputs_shrink_the_safe_batch() {
+        let (p, slo) = profile();
+        let unit = queue(32, SimTime::ZERO, SimTime::ZERO, slo);
+        let heavy: Vec<crate::Query> = unit.iter().map(|q| q.with_cost(4.0)).collect();
+        let ctx_unit = BatchContext {
+            now: SimTime::ZERO,
+            queue: &unit,
+            profile: &p,
+        };
+        let ctx_heavy = BatchContext {
+            now: SimTime::ZERO,
+            queue: &heavy,
+            profile: &p,
+        };
+        let safe_unit = ctx_unit.largest_safe_batch(u32::MAX);
+        let safe_heavy = ctx_heavy.largest_safe_batch(u32::MAX);
+        assert!(
+            safe_heavy < safe_unit,
+            "4x inputs must shrink the safe batch: {safe_heavy} !< {safe_unit}"
+        );
+        assert!(safe_heavy >= 1);
+        assert_eq!(ctx_heavy.mean_cost(), 4.0);
+        // And the safe batch still honours the deadline at true cost.
+        let finish = ctx_heavy.latency_for_cost(ctx_heavy.batch_cost(safe_heavy as usize));
+        assert!(SimTime::ZERO + finish <= heavy[0].deadline);
+    }
+
+    #[test]
+    fn largest_safe_batch_respects_first_deadline() {
+        let (p, slo) = profile();
+        let q = queue(20, SimTime::ZERO, SimTime::ZERO, slo);
+        let ctx = BatchContext {
+            now: SimTime::ZERO,
+            queue: &q,
+            profile: &p,
+        };
+        let k = ctx.largest_safe_batch(u32::MAX);
+        assert!(k >= 1);
+        assert!(ctx.now + ctx.latency(k) <= q[0].deadline);
+        if (k as usize) < q.len() {
+            assert!(ctx.now + ctx.latency(k + 1) > q[0].deadline);
+        }
+        // With an empty queue the answer is zero.
+        let ctx = BatchContext {
+            now: SimTime::ZERO,
+            queue: &[],
+            profile: &p,
+        };
+        assert_eq!(ctx.largest_safe_batch(8), 0);
+    }
+}

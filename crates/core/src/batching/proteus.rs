@@ -1,0 +1,224 @@
+//! The paper's proactive, non-work-conserving adaptive batching (§5).
+
+use super::{BatchContext, BatchDecision, BatchPolicy};
+
+/// Proteus adaptive batching (the artifact's `accscale` policy).
+///
+/// With `q` queries queued and the first expiring at `T_exp(1)`, define
+/// `T_max_wait(q+1) = T_exp(1) − T_process(q+1)` — the latest moment at
+/// which a batch of `q+1` could still start without the first query missing
+/// its SLO. The policy then:
+///
+/// * **Case 1** — if `T_max_wait(q+1)` passes with no new arrival, execute
+///   the current `q` queries (starting later would sacrifice the first
+///   query for a bigger batch).
+/// * **Case 2** — if the `q+1`-st query arrives first, recompute with
+///   `q' = q+1` (the worker re-invokes [`decide`](BatchPolicy::decide) on
+///   every arrival, which performs exactly this iteration).
+///
+/// Proactivity: queries that cannot meet their SLO even in a batch of one
+/// are dropped immediately instead of poisoning a batch; queued queries
+/// never expire while the device waits, because the wait horizon is derived
+/// from the first deadline.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_core::batching::{BatchPolicy, ProteusBatching};
+///
+/// let policy = ProteusBatching::default();
+/// assert_eq!(policy.name(), "proteus");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProteusBatching;
+
+impl BatchPolicy for ProteusBatching {
+    fn name(&self) -> &'static str {
+        "proteus"
+    }
+
+    fn decide(&mut self, ctx: &BatchContext<'_>) -> BatchDecision {
+        if ctx.queue.is_empty() {
+            return BatchDecision::Idle;
+        }
+        // Proactive drop: the first `n` queries can no longer make it.
+        let hopeless = ctx.unservable_prefix();
+        if hopeless > 0 {
+            return BatchDecision::DropExpired(hopeless);
+        }
+
+        let max_batch = ctx.max_batch();
+        let q = ctx.queue.len() as u32;
+        // Largest batch that still honours the first query's deadline.
+        let safe = ctx.largest_safe_batch(max_batch);
+        debug_assert!(safe >= 1, "first query survived the drop check");
+
+        // If the queue already holds more than one safe batch — or the batch
+        // ceiling is reached — waiting cannot help: run the biggest safe
+        // batch now.
+        if q >= max_batch || safe < q {
+            return BatchDecision::Execute(safe.max(1));
+        }
+
+        // q == safe < max_batch: consider waiting for query q+1, whose cost
+        // is estimated by the queue's mean (§7 input-size awareness).
+        let t_process_next =
+            ctx.latency_for_cost(ctx.batch_cost(q as usize) + ctx.mean_cost());
+        let first_deadline = ctx.queue[0].deadline;
+        if first_deadline < t_process_next {
+            // Even starting at time zero a (q+1)-batch would be too slow;
+            // no point waiting.
+            return BatchDecision::Execute(q);
+        }
+        let t_max_wait = first_deadline - t_process_next;
+        if ctx.now >= t_max_wait {
+            // Case 1: out of slack — run what we have.
+            BatchDecision::Execute(q)
+        } else {
+            // Case 2 pending: sleep until the slack runs out (an arrival
+            // wakes the worker earlier and this decision is recomputed).
+            BatchDecision::WaitUntil(t_max_wait)
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchPolicy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::testutil::{profile, queue};
+    use proteus_sim::SimTime;
+
+    fn ctx<'a>(
+        now: SimTime,
+        q: &'a [crate::Query],
+        p: &'a proteus_profiler::Profile,
+    ) -> BatchContext<'a> {
+        BatchContext {
+            now,
+            queue: q,
+            profile: p,
+        }
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        let (p, _) = profile();
+        let mut policy = ProteusBatching;
+        assert_eq!(policy.decide(&ctx(SimTime::ZERO, &[], &p)), BatchDecision::Idle);
+    }
+
+    #[test]
+    fn waits_when_slack_remains() {
+        let (p, slo) = profile();
+        let q = queue(1, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut policy = ProteusBatching;
+        match policy.decide(&ctx(SimTime::ZERO, &q, &p)) {
+            BatchDecision::WaitUntil(t) => {
+                // Must wake before the first deadline minus a 2-batch time.
+                let expected = q[0].deadline - SimTime::from_millis_f64(p.latency(2));
+                assert_eq!(t, expected);
+                assert!(t > SimTime::ZERO);
+            }
+            other => panic!("expected WaitUntil, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executes_when_wait_budget_exhausted() {
+        let (p, slo) = profile();
+        let q = queue(3, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut policy = ProteusBatching;
+        // Advance to just past T_max_wait(4) — but by less than the
+        // marginal batch latency l(4) − l(3), so a 3-batch is still safe.
+        let t_wait = q[0].deadline - SimTime::from_millis_f64(p.latency(4));
+        let margin = SimTime::from_millis_f64((p.latency(4) - p.latency(3)) / 2.0);
+        let now = t_wait + margin;
+        assert_eq!(
+            policy.decide(&ctx(now, &q, &p)),
+            BatchDecision::Execute(3)
+        );
+    }
+
+    #[test]
+    fn never_lets_first_query_expire_while_waiting() {
+        let (p, slo) = profile();
+        // Simulate the arrival loop: start with one query, add more whenever
+        // the policy decides to wait; the execute decision must always meet
+        // the first deadline.
+        let mut policy = ProteusBatching;
+        let mut queued = queue(1, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut now = SimTime::ZERO;
+        for i in 1..50 {
+            match policy.decide(&ctx(now, &queued, &p)) {
+                BatchDecision::WaitUntil(t) => {
+                    // A new query arrives halfway through the wait.
+                    let arrival = now + (t - now) / 2;
+                    queued.push(crate::Query::new(
+                        crate::QueryId(100 + i),
+                        proteus_profiler::ModelFamily::EfficientNet,
+                        arrival,
+                        slo,
+                    ));
+                    now = arrival;
+                }
+                BatchDecision::Execute(k) => {
+                    let finish = now + SimTime::from_millis_f64(p.latency(k));
+                    assert!(
+                        finish <= queued[0].deadline,
+                        "batch of {k} at {now} finishes {finish} after deadline {:?}",
+                        queued[0].deadline
+                    );
+                    return;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("policy never executed");
+    }
+
+    #[test]
+    fn caps_batch_at_profile_maximum() {
+        let (p, slo) = profile();
+        let n = (p.max_batch() + 10) as usize;
+        let q = queue(n, SimTime::ZERO, SimTime::ZERO, slo);
+        let mut policy = ProteusBatching;
+        match policy.decide(&ctx(SimTime::ZERO, &q, &p)) {
+            BatchDecision::Execute(k) => assert!(k <= p.max_batch()),
+            other => panic!("expected Execute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drops_hopeless_queries_first() {
+        let (p, slo) = profile();
+        let q = queue(4, SimTime::ZERO, SimTime::from_millis(1), slo);
+        let late = q[1].deadline + SimTime::from_millis(1);
+        let mut policy = ProteusBatching;
+        match policy.decide(&ctx(late, &q, &p)) {
+            BatchDecision::DropExpired(n) => assert!(n >= 2),
+            other => panic!("expected DropExpired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executes_partial_queue_when_backlogged() {
+        let (p, slo) = profile();
+        // Stale first query: little slack left, so the safe batch is smaller
+        // than the queue → execute immediately rather than wait.
+        let q = queue(10, SimTime::ZERO, SimTime::ZERO, slo);
+        // Move near the first deadline: only a small batch still fits.
+        let now = q[0].deadline - SimTime::from_millis_f64(p.latency(2));
+        let mut policy = ProteusBatching;
+        match policy.decide(&ctx(now, &q, &p)) {
+            BatchDecision::Execute(k) => {
+                assert!((1..10).contains(&k), "expected partial batch, got {k}");
+                assert!(now + SimTime::from_millis_f64(p.latency(k)) <= q[0].deadline);
+            }
+            other => panic!("expected Execute, got {other:?}"),
+        }
+    }
+}

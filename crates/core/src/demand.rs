@@ -1,0 +1,235 @@
+//! Per-family quantities and runtime demand estimation (the monitoring
+//! daemon's statistics, §3).
+
+use std::ops::{Index, IndexMut};
+
+use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
+
+/// A dense map from [`ModelFamily`] to `T` — the workhorse container for
+/// per-application demand, capacity and statistics.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_core::FamilyMap;
+/// use proteus_profiler::ModelFamily;
+///
+/// let mut demand: FamilyMap<f64> = FamilyMap::default();
+/// demand[ModelFamily::Bert] = 120.0;
+/// assert_eq!(demand[ModelFamily::Bert], 120.0);
+/// assert_eq!(demand[ModelFamily::T5], 0.0);
+/// assert_eq!(demand.total(), 120.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyMap<T> {
+    values: [T; ModelFamily::COUNT],
+}
+
+impl<T: Default> Default for FamilyMap<T> {
+    fn default() -> Self {
+        Self {
+            values: std::array::from_fn(|_| T::default()),
+        }
+    }
+}
+
+impl<T> FamilyMap<T> {
+    /// Builds a map by evaluating `f` for every family.
+    pub fn from_fn(mut f: impl FnMut(ModelFamily) -> T) -> Self {
+        Self {
+            values: ModelFamily::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(family, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModelFamily, &T)> + '_ {
+        ModelFamily::ALL.iter().map(move |&f| (f, &self.values[f.index()]))
+    }
+}
+
+impl FamilyMap<f64> {
+    /// Sum over all families.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Returns a copy with every value multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            values: self.values.map(|v| v * factor),
+        }
+    }
+}
+
+impl<T> Index<ModelFamily> for FamilyMap<T> {
+    type Output = T;
+    fn index(&self, family: ModelFamily) -> &T {
+        &self.values[family.index()]
+    }
+}
+
+impl<T> IndexMut<ModelFamily> for FamilyMap<T> {
+    fn index_mut(&mut self, family: ModelFamily) -> &mut T {
+        &mut self.values[family.index()]
+    }
+}
+
+/// Runtime demand estimation: per-second arrival counting with an
+/// exponentially weighted moving average, plus the raw last-second rate for
+/// burst detection.
+///
+/// This is the statistics pipeline of the paper's monitoring daemon: the
+/// EWMA feeds the Resource Manager's MILP as the target demand `s_q`, while
+/// the instantaneous rate triggers burst re-allocation when it overshoots
+/// planned capacity.
+#[derive(Debug, Clone)]
+pub struct DemandEstimator {
+    alpha: f64,
+    counts: FamilyMap<u64>,
+    ewma: FamilyMap<f64>,
+    last_rate: FamilyMap<f64>,
+    window_start: SimTime,
+    warmed_up: bool,
+}
+
+impl DemandEstimator {
+    /// Creates an estimator with the given averaging window (typically one
+    /// second) and EWMA smoothing factor `alpha` (weight of the newest
+    /// window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `alpha` is outside `(0, 1]`.
+    pub fn new(window: SimTime, alpha: f64) -> Self {
+        assert!(window > SimTime::ZERO, "window must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            counts: FamilyMap::default(),
+            ewma: FamilyMap::default(),
+            last_rate: FamilyMap::default(),
+            window_start: SimTime::ZERO,
+            warmed_up: false,
+        }
+    }
+
+    /// Records one arrival.
+    pub fn record(&mut self, family: ModelFamily) {
+        self.counts[family] += 1;
+    }
+
+    /// Closes the current window at time `now`, folding its rate into the
+    /// EWMA. Call once per window tick.
+    pub fn roll(&mut self, now: SimTime) {
+        let span = now.saturating_sub(self.window_start);
+        let secs = span.as_secs_f64().max(1e-9);
+        for family in ModelFamily::ALL {
+            let rate = self.counts[family] as f64 / secs;
+            self.last_rate[family] = rate;
+            self.ewma[family] = if self.warmed_up {
+                self.alpha * rate + (1.0 - self.alpha) * self.ewma[family]
+            } else {
+                rate
+            };
+            self.counts[family] = 0;
+        }
+        self.warmed_up = true;
+        self.window_start = now;
+    }
+
+    /// The smoothed demand estimate in QPS.
+    pub fn smoothed(&self) -> FamilyMap<f64> {
+        self.ewma
+    }
+
+    /// The most recent single-window rate in QPS (burst detector input).
+    pub fn instantaneous(&self) -> FamilyMap<f64> {
+        self.last_rate
+    }
+
+    /// Demand fed to the Resource Manager: the element-wise max of the
+    /// smoothed and instantaneous rates, so a burst is never under-reported
+    /// while noise is still damped.
+    pub fn for_planning(&self) -> FamilyMap<f64> {
+        FamilyMap::from_fn(|f| self.ewma[f].max(self.last_rate[f]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_iter() {
+        let m = FamilyMap::from_fn(|f| f.index() as f64);
+        assert_eq!(m[ModelFamily::ResNet], 0.0);
+        assert_eq!(m[ModelFamily::Gpt2], 8.0);
+        assert_eq!(m.iter().count(), 9);
+        assert_eq!(m.total(), (0..9).sum::<usize>() as f64);
+        assert_eq!(m.scaled(2.0)[ModelFamily::Gpt2], 16.0);
+    }
+
+    #[test]
+    fn estimator_tracks_flat_rate() {
+        let mut e = DemandEstimator::new(SimTime::from_secs(1), 0.5);
+        for second in 0..5u64 {
+            for _ in 0..100 {
+                e.record(ModelFamily::ResNet);
+            }
+            e.roll(SimTime::from_secs(second + 1));
+        }
+        assert!((e.smoothed()[ModelFamily::ResNet] - 100.0).abs() < 1e-9);
+        assert!((e.instantaneous()[ModelFamily::ResNet] - 100.0).abs() < 1e-9);
+        assert_eq!(e.smoothed()[ModelFamily::Bert], 0.0);
+    }
+
+    #[test]
+    fn first_window_seeds_ewma() {
+        let mut e = DemandEstimator::new(SimTime::from_secs(1), 0.1);
+        for _ in 0..50 {
+            e.record(ModelFamily::T5);
+        }
+        e.roll(SimTime::from_secs(1));
+        // Without warm-up seeding, the EWMA would start at 5 instead of 50.
+        assert!((e.smoothed()[ModelFamily::T5] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planning_takes_max_of_ewma_and_instant() {
+        let mut e = DemandEstimator::new(SimTime::from_secs(1), 0.5);
+        for _ in 0..10 {
+            e.record(ModelFamily::Bert);
+        }
+        e.roll(SimTime::from_secs(1));
+        // Sudden burst in the second window.
+        for _ in 0..200 {
+            e.record(ModelFamily::Bert);
+        }
+        e.roll(SimTime::from_secs(2));
+        let smoothed = e.smoothed()[ModelFamily::Bert];
+        assert!((smoothed - 105.0).abs() < 1e-9);
+        assert_eq!(e.instantaneous()[ModelFamily::Bert], 200.0);
+        assert_eq!(e.for_planning()[ModelFamily::Bert], 200.0);
+        // Burst subsides: planning falls back to the (still elevated) EWMA.
+        e.roll(SimTime::from_secs(3));
+        assert!(e.for_planning()[ModelFamily::Bert] > 50.0);
+    }
+
+    #[test]
+    fn roll_normalizes_by_actual_span() {
+        let mut e = DemandEstimator::new(SimTime::from_secs(1), 1.0);
+        for _ in 0..100 {
+            e.record(ModelFamily::ResNet);
+        }
+        // Window actually spanned 2 s → 50 QPS.
+        e.roll(SimTime::from_secs(2));
+        assert!((e.instantaneous()[ModelFamily::ResNet] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        DemandEstimator::new(SimTime::from_secs(1), 0.0);
+    }
+}

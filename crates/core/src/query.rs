@@ -1,0 +1,121 @@
+//! Inference queries flowing through the data path.
+
+use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
+
+/// Unique query identifier within one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// One inference query: its application (family), arrival time, latency
+/// deadline and input cost.
+///
+/// The deadline is absolute: `arrived + SLO(family)`. A query finishing
+/// after its deadline counts as an SLO violation even though a (late)
+/// response is still produced; a query that can no longer possibly finish in
+/// time may be dropped by a proactive batching policy.
+///
+/// `cost` is the §7 "Varying Input Sizes" extension: the marginal work this
+/// query adds to a batch, in units of a nominal fixed-size input (1.0 for
+/// vision models; variable for NLP queries with longer/shorter inputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Run-unique identifier.
+    pub id: QueryId,
+    /// The registered application this query belongs to.
+    pub family: ModelFamily,
+    /// Arrival timestamp at the load balancer.
+    pub arrived: SimTime,
+    /// Absolute latency deadline.
+    pub deadline: SimTime,
+    /// Marginal batch work in nominal input units (1.0 = nominal input).
+    pub cost: f64,
+}
+
+impl Query {
+    /// Creates a nominal-input query with deadline `arrived + slo`.
+    pub fn new(id: QueryId, family: ModelFamily, arrived: SimTime, slo: SimTime) -> Self {
+        Self {
+            id,
+            family,
+            arrived,
+            deadline: arrived + slo,
+            cost: 1.0,
+        }
+    }
+
+    /// Sets the input cost (§7 extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not strictly positive and finite.
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        assert!(
+            cost > 0.0 && cost.is_finite(),
+            "query cost must be positive and finite, got {cost}"
+        );
+        self.cost = cost;
+        self
+    }
+
+    /// Remaining slack until the deadline (zero if already expired).
+    pub fn slack(&self, now: SimTime) -> SimTime {
+        self.deadline.saturating_sub(now)
+    }
+
+    /// Whether the deadline has already passed.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now > self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Query {
+        Query::new(
+            QueryId(1),
+            ModelFamily::ResNet,
+            SimTime::from_millis(100),
+            SimTime::from_millis(50),
+        )
+    }
+
+    #[test]
+    fn deadline_is_arrival_plus_slo() {
+        assert_eq!(q().deadline, SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn slack_saturates_at_zero() {
+        let q = q();
+        assert_eq!(q.slack(SimTime::from_millis(120)), SimTime::from_millis(30));
+        assert_eq!(q.slack(SimTime::from_millis(200)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn expiry_is_strict() {
+        let q = q();
+        assert!(!q.is_expired(SimTime::from_millis(150)), "deadline instant still on time");
+        assert!(q.is_expired(SimTime::from_millis(151)));
+    }
+
+    #[test]
+    fn cost_defaults_to_nominal_and_is_settable() {
+        assert_eq!(q().cost, 1.0);
+        assert_eq!(q().with_cost(2.5).cost, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_rejected() {
+        let _ = q().with_cost(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_cost_rejected() {
+        let _ = q().with_cost(f64::INFINITY);
+    }
+}

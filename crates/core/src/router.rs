@@ -1,0 +1,189 @@
+//! The load balancer's Request Router (§3).
+//!
+//! One router instance exists per application (query type). It implements
+//! the query-assignment policy `y(d,q)` handed down by the Resource Manager
+//! using *smooth weighted round-robin*: deterministic, O(hosts) per query
+//! (comfortably under the paper's measured sub-millisecond routing budget,
+//! §6.8), and asymptotically proportional to the planned weights without the
+//! variance of random routing.
+
+use proteus_profiler::{DeviceId, ModelFamily};
+
+use crate::AllocationPlan;
+
+/// Deterministic weighted dispatcher for one query type.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_core::router::Router;
+/// use proteus_profiler::{DeviceId, ModelFamily};
+///
+/// let mut router = Router::new(
+///     ModelFamily::ResNet,
+///     vec![(DeviceId(0), 2.0), (DeviceId(1), 1.0)],
+/// );
+/// let picks: Vec<_> = (0..6).filter_map(|_| router.route()).collect();
+/// let zeros = picks.iter().filter(|d| d.0 == 0).count();
+/// assert_eq!(zeros, 4); // 2:1 split
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    family: ModelFamily,
+    entries: Vec<Entry>,
+    total_weight: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    device: DeviceId,
+    weight: f64,
+    current: f64,
+}
+
+impl Router {
+    /// Creates a router over `(device, weight)` targets.
+    ///
+    /// Entries with non-positive weight are ignored; an empty target list is
+    /// allowed and makes [`route`](Self::route) return `None` (the system
+    /// drops such queries — no host exists for the family).
+    pub fn new(family: ModelFamily, targets: Vec<(DeviceId, f64)>) -> Self {
+        let entries: Vec<Entry> = targets
+            .into_iter()
+            .filter(|&(_, w)| w > 0.0 && w.is_finite())
+            .map(|(device, weight)| Entry {
+                device,
+                weight,
+                current: 0.0,
+            })
+            .collect();
+        let total_weight = entries.iter().map(|e| e.weight).sum();
+        Self {
+            family,
+            entries,
+            total_weight,
+        }
+    }
+
+    /// Builds the per-family routers prescribed by an allocation plan.
+    pub fn from_plan(plan: &AllocationPlan) -> Vec<Router> {
+        ModelFamily::ALL
+            .into_iter()
+            .map(|family| Router::new(family, plan.routing(family).to_vec()))
+            .collect()
+    }
+
+    /// The query type this router serves.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// Whether any target exists.
+    pub fn has_targets(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Number of target devices.
+    pub fn num_targets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Picks the next device (smooth weighted round-robin), or `None` if the
+    /// family has no host.
+    pub fn route(&mut self) -> Option<DeviceId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        for e in &mut self.entries {
+            e.current += e.weight;
+        }
+        let best = self
+            .entries
+            .iter_mut()
+            .max_by(|a, b| a.current.total_cmp(&b.current))?;
+        best.current -= self.total_weight;
+        Some(best.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(router: &mut Router, n: usize) -> std::collections::HashMap<u32, usize> {
+        let mut m = std::collections::HashMap::new();
+        for _ in 0..n {
+            let d = router.route().unwrap();
+            *m.entry(d.0).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn proportional_to_weights() {
+        let mut r = Router::new(
+            ModelFamily::Bert,
+            vec![(DeviceId(0), 5.0), (DeviceId(1), 3.0), (DeviceId(2), 2.0)],
+        );
+        let c = counts(&mut r, 1000);
+        assert_eq!(c[&0], 500);
+        assert_eq!(c[&1], 300);
+        assert_eq!(c[&2], 200);
+    }
+
+    #[test]
+    fn smooth_interleaving_not_bursts() {
+        // SWRR with weights 2:1 must not send two consecutive queries to the
+        // light host, and must interleave rather than sending runs.
+        let mut r = Router::new(ModelFamily::Bert, vec![(DeviceId(0), 2.0), (DeviceId(1), 1.0)]);
+        let seq: Vec<u32> = (0..9).map(|_| r.route().unwrap().0).collect();
+        // Pattern repeats every 3 with device 0 twice per period.
+        for w in seq.chunks(3) {
+            assert_eq!(w.iter().filter(|&&d| d == 0).count(), 2, "{seq:?}");
+        }
+        // No run of three identical targets.
+        for w in seq.windows(3) {
+            assert!(!(w[0] == w[1] && w[1] == w[2]), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn empty_router_routes_none() {
+        let mut r = Router::new(ModelFamily::T5, vec![]);
+        assert!(!r.has_targets());
+        assert_eq!(r.route(), None);
+    }
+
+    #[test]
+    fn non_positive_weights_filtered() {
+        let mut r = Router::new(
+            ModelFamily::T5,
+            vec![(DeviceId(0), 0.0), (DeviceId(1), -1.0), (DeviceId(2), 1.0)],
+        );
+        assert_eq!(r.num_targets(), 1);
+        assert_eq!(r.route(), Some(DeviceId(2)));
+    }
+
+    #[test]
+    fn from_plan_builds_all_families() {
+        let mut plan = AllocationPlan::empty(2);
+        plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(0), 1.0)]);
+        let routers = Router::from_plan(&plan);
+        assert_eq!(routers.len(), ModelFamily::COUNT);
+        let resnet = routers
+            .iter()
+            .find(|r| r.family() == ModelFamily::ResNet)
+            .unwrap();
+        assert!(resnet.has_targets());
+        let t5 = routers.iter().find(|r| r.family() == ModelFamily::T5).unwrap();
+        assert!(!t5.has_targets());
+    }
+
+    #[test]
+    fn single_target_always_wins() {
+        let mut r = Router::new(ModelFamily::Gpt2, vec![(DeviceId(7), 0.001)]);
+        for _ in 0..10 {
+            assert_eq!(r.route(), Some(DeviceId(7)));
+        }
+    }
+}

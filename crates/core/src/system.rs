@@ -1,0 +1,1074 @@
+//! The serving system: load balancers, workers, controller and metrics
+//! wired together on the discrete-event engine (§3).
+//!
+//! [`ServingSystem::run`] replays a query-arrival trace against a cluster:
+//!
+//! * **Data path** — each arrival is routed by its family's
+//!   [`Router`] to a worker, queued, and batched by
+//!   the worker's [`BatchPolicy`]; completions and drops feed the
+//!   [`MetricsCollector`].
+//! * **Control path** — a [`DemandEstimator`] (the monitoring daemon) rolls
+//!   per-second statistics; the Resource Manager re-invokes the
+//!   [`Allocator`] periodically, or immediately when a demand burst
+//!   overshoots planned capacity (with a cooldown), or — for critical-path
+//!   allocators like INFaaS — on every monitoring tick. Plan changes incur
+//!   model-load delays during which the affected device cannot serve.
+//!
+//! The optional execution noise (latency jitter + container startup delay)
+//! models the difference between the paper's simulator and its physical
+//! cluster (§6.2 reports <1 % divergence; the `sim_vs_cluster` experiment
+//! reproduces that comparison).
+
+use proteus_metrics::MetricsCollector;
+use proteus_profiler::{Cluster, ModelZoo, ProfileStore, SloPolicy, VariantId};
+use proteus_sim::{Actor, SimTime, Simulation};
+use proteus_workloads::dist::standard_normal;
+use proteus_workloads::QueryArrival;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::allocation::{AllocContext, AllocationPlan};
+use crate::batching::{BatchDecision, BatchPolicy};
+use crate::router::Router;
+use crate::schedulers::Allocator;
+use crate::worker::{Worker, WorkerState};
+use crate::{DemandEstimator, FamilyMap, Query, QueryId};
+
+/// Configuration of a serving run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The heterogeneous cluster.
+    pub cluster: Cluster,
+    /// Registered model variants.
+    pub zoo: ModelZoo,
+    /// SLO assignment policy (§6.1.2; multiplier sweep in Fig. 8).
+    pub slo: SloPolicy,
+    /// Resource Manager invocation period in seconds (paper: 30 s).
+    pub realloc_period_secs: f64,
+    /// Monitoring daemon tick in seconds.
+    pub monitor_period_secs: f64,
+    /// Burst trigger: instantaneous demand above this multiple of the
+    /// demand the current plan was built for forces an immediate
+    /// re-allocation (the monitoring daemon's "burst of requests" call to
+    /// the controller, §3).
+    pub burst_threshold: f64,
+    /// Minimum spacing between burst-triggered re-allocations, seconds.
+    pub burst_cooldown_secs: f64,
+    /// Headroom β applied to observed demand before planning (artifact
+    /// default 1.05).
+    pub demand_headroom: f64,
+    /// Per-worker queue capacity.
+    pub queue_cap: usize,
+    /// Fixed component of the model-swap delay, seconds.
+    pub load_base_secs: f64,
+    /// Swap delay per GiB of model weights, seconds.
+    pub load_secs_per_gib: f64,
+    /// Coefficient of variation of batch-latency jitter (0 = deterministic
+    /// profiled latencies, like the paper's simulator).
+    pub latency_noise_cv: f64,
+    /// Extra uniform random container-startup delay added to model swaps,
+    /// seconds (cluster realism; 0 in pure simulation).
+    pub startup_noise_secs: f64,
+    /// RNG seed for all execution noise.
+    pub seed: u64,
+    /// Demand used for the initial (t = 0) allocation; defaults to the
+    /// trace's mean per-family rate.
+    pub provision_demand: Option<FamilyMap<f64>>,
+    /// Seconds of drain time after the last arrival before metrics close.
+    pub drain_secs: f64,
+    /// §7 extension: hardware scaling working *in tandem* with accuracy
+    /// scaling — extra devices can be provisioned (slowly) while accuracy
+    /// scaling absorbs the burst. `None` = fixed-size cluster (the paper's
+    /// main setting).
+    pub elastic: Option<ElasticScaling>,
+}
+
+/// Configuration of the §7 hardware-scaling tandem extension.
+///
+/// When a re-allocation has to shrink demand (the cluster is saturated even
+/// at minimum accuracy) the controller orders additional V100 workers;
+/// they come online after `provision_delay_secs` (server start-up is slow —
+/// which is exactly why the paper argues accuracy scaling is the right tool
+/// for the transient).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticScaling {
+    /// Time from ordering a device to it serving, in seconds.
+    pub provision_delay_secs: f64,
+    /// Upper bound on extra devices that may be added over the run.
+    pub max_extra_devices: u32,
+    /// Order more hardware when the plan's demand shrink factor exceeds
+    /// this threshold (1.0 = any shrink triggers provisioning).
+    pub shrink_trigger: f64,
+}
+
+impl Default for ElasticScaling {
+    fn default() -> Self {
+        Self {
+            provision_delay_secs: 60.0,
+            max_extra_devices: 8,
+            shrink_trigger: 1.02,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's evaluation setup: 20 CPU + 10 GTX 1080 Ti + 10 V100
+    /// workers, the full Table 3 zoo, 2× SLOs, 30 s re-allocation.
+    pub fn paper_testbed() -> Self {
+        Self {
+            cluster: Cluster::paper_testbed(),
+            zoo: ModelZoo::paper_table3(),
+            slo: SloPolicy::default(),
+            realloc_period_secs: 30.0,
+            monitor_period_secs: 1.0,
+            burst_threshold: 1.15,
+            burst_cooldown_secs: 3.0,
+            demand_headroom: 1.15,
+            queue_cap: 256,
+            load_base_secs: 0.5,
+            load_secs_per_gib: 0.5,
+            latency_noise_cv: 0.0,
+            startup_noise_secs: 0.0,
+            seed: 0,
+            provision_demand: None,
+            drain_secs: 5.0,
+            elastic: None,
+        }
+    }
+
+    /// A small 9-device setup for fast tests — just enough devices that
+    /// every one of the nine applications can keep a host.
+    pub fn small() -> Self {
+        Self {
+            cluster: Cluster::with_counts(5, 2, 2),
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// Adds cluster-like execution noise (latency jitter and container
+    /// startup delays), as used by the `sim_vs_cluster` comparison.
+    pub fn with_cluster_noise(mut self, cv: f64, startup_secs: f64) -> Self {
+        self.latency_noise_cv = cv;
+        self.startup_noise_secs = startup_secs;
+        self
+    }
+}
+
+/// The result of one serving run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-query metrics, bucketed at one second.
+    pub metrics: MetricsCollector,
+    /// How many times the Resource Manager produced a new plan (including
+    /// the initial allocation).
+    pub reallocations: u32,
+    /// How many of those were burst-triggered rather than periodic.
+    pub burst_reallocations: u32,
+    /// Wall-clock seconds spent inside the allocator (§6.8 overhead).
+    pub allocator_wall_secs: f64,
+    /// Re-allocations where demand had to be shrunk for feasibility.
+    pub shrunk_plans: u32,
+    /// Devices added by the §7 hardware-scaling tandem extension.
+    pub provisioned_devices: u32,
+    /// Per-device execution statistics (indexed by device id).
+    pub device_stats: Vec<DeviceStats>,
+    /// The plan in force when the run ended.
+    pub final_plan: AllocationPlan,
+}
+
+/// Execution statistics of one worker device over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceStats {
+    /// Total time spent executing batches.
+    pub busy: SimTime,
+    /// Number of batches executed.
+    pub batches: u64,
+    /// Number of queries served (in any batch).
+    pub queries: u64,
+}
+
+impl DeviceStats {
+    /// Mean batch size, or 0.0 if the device never executed.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of `span` the device spent executing.
+    pub fn utilization(&self, span: SimTime) -> f64 {
+        if span == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / span.as_secs_f64()
+        }
+    }
+}
+
+/// The Proteus serving system (or a baseline, depending on the injected
+/// allocator and batching policy).
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug)]
+pub struct ServingSystem {
+    config: SystemConfig,
+    store: ProfileStore,
+    allocator: Box<dyn Allocator>,
+    batching: Box<dyn BatchPolicy>,
+}
+
+#[derive(Debug)]
+enum Event {
+    NextArrival(usize),
+    WorkerTimer(u32),
+    BatchDone {
+        device: u32,
+        accuracy: f64,
+        queries: Vec<Query>,
+    },
+    LoadDone {
+        device: u32,
+        generation: u64,
+    },
+    MonitorTick,
+    Reallocate,
+    /// §7 tandem extension: an ordered device comes online.
+    ProvisionReady(proteus_profiler::DeviceType),
+    /// One-shot re-allocation after a provisioning batch lands (scheduled
+    /// behind the last same-instant [`Event::ProvisionReady`]).
+    ProvisionedRealloc,
+}
+
+impl ServingSystem {
+    /// Creates a system with the given allocator and per-worker batching
+    /// policy prototype.
+    pub fn new(
+        config: SystemConfig,
+        allocator: Box<dyn Allocator>,
+        batching: Box<dyn BatchPolicy>,
+    ) -> Self {
+        let store = ProfileStore::build(&config.zoo, config.slo);
+        Self {
+            config,
+            store,
+            allocator,
+            batching,
+        }
+    }
+
+    /// The profile store the system operates on.
+    pub fn store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// The allocator's report name.
+    pub fn allocator_name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// Replays `arrivals` (sorted by time) through the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by arrival time.
+    pub fn run(&mut self, arrivals: &[QueryArrival]) -> RunOutcome {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrivals must be sorted by time"
+        );
+        let last_at = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
+        let horizon = last_at + SimTime::from_secs_f64(self.config.drain_secs);
+
+        let provision = self.config.provision_demand.unwrap_or_else(|| {
+            mean_demand(arrivals)
+        });
+
+        let cluster = self.config.cluster.clone();
+        let mut engine = Engine {
+            config: &self.config,
+            store: &self.store,
+            allocator: self.allocator.as_mut(),
+            arrivals,
+            horizon,
+            workers: cluster
+                .iter()
+                .map(|&spec| Worker::new(spec, self.batching.clone_box(), self.config.queue_cap))
+                .collect(),
+            routers: Router::from_plan(&AllocationPlan::empty(cluster.len())),
+            plan: AllocationPlan::empty(cluster.len()),
+            cluster,
+            metrics: MetricsCollector::new(SimTime::from_secs(1)),
+            estimator: DemandEstimator::new(
+                SimTime::from_secs_f64(self.config.monitor_period_secs),
+                0.4,
+            ),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            last_realloc: SimTime::ZERO,
+            planned_for: FamilyMap::default(),
+            reallocations: 0,
+            burst_reallocations: 0,
+            allocator_wall_secs: 0.0,
+            shrunk_plans: 0,
+            batching_proto: self.batching.clone_box(),
+            extra_ordered: 0,
+            provisioned: 0,
+            provision_realloc_at: None,
+            device_stats: vec![DeviceStats::default(); self.config.cluster.len()],
+        };
+
+        let mut sim: Simulation<Event> = Simulation::new();
+        // Initial allocation: models are pre-loaded before the trace starts.
+        engine.initial_plan(&provision);
+        if !arrivals.is_empty() {
+            sim.schedule(arrivals[0].at, Event::NextArrival(0));
+        }
+        let monitor = SimTime::from_secs_f64(self.config.monitor_period_secs);
+        if monitor <= horizon {
+            sim.schedule(monitor, Event::MonitorTick);
+        }
+        if !engine.allocator.is_static() && !engine.allocator.on_critical_path() {
+            let period = SimTime::from_secs_f64(self.config.realloc_period_secs);
+            if period <= horizon {
+                sim.schedule(period, Event::Reallocate);
+            }
+        }
+        sim.run(&mut engine);
+
+        // Account anything still queued (nothing should be, since every
+        // policy eventually executes or drops, but stay safe).
+        let mut metrics = engine.metrics;
+        for w in &mut engine.workers {
+            for q in w.drain_queue() {
+                metrics.record_dropped(horizon, q.family);
+            }
+        }
+        RunOutcome {
+            metrics,
+            reallocations: engine.reallocations,
+            burst_reallocations: engine.burst_reallocations,
+            allocator_wall_secs: engine.allocator_wall_secs,
+            shrunk_plans: engine.shrunk_plans,
+            provisioned_devices: engine.provisioned,
+            device_stats: engine.device_stats,
+            final_plan: engine.plan,
+        }
+    }
+}
+
+/// Mean per-family arrival rate of a trace, in QPS.
+pub fn mean_demand(arrivals: &[QueryArrival]) -> FamilyMap<f64> {
+    let mut counts = FamilyMap::<f64>::default();
+    for a in arrivals {
+        counts[a.family] += 1.0;
+    }
+    let secs = arrivals
+        .last()
+        .map_or(1.0, |a| a.at.as_secs_f64())
+        .max(1.0);
+    counts.scaled(1.0 / secs)
+}
+
+struct Engine<'a> {
+    config: &'a SystemConfig,
+    store: &'a ProfileStore,
+    allocator: &'a mut dyn Allocator,
+    arrivals: &'a [QueryArrival],
+    horizon: SimTime,
+    /// The (possibly growing, with the §7 tandem extension) cluster.
+    cluster: Cluster,
+    workers: Vec<Worker>,
+    routers: Vec<Router>,
+    plan: AllocationPlan,
+    metrics: MetricsCollector,
+    estimator: DemandEstimator,
+    rng: StdRng,
+    last_realloc: SimTime,
+    /// The (pre-headroom) demand the current plan was built for, per
+    /// family — the burst detector's baseline.
+    planned_for: FamilyMap<f64>,
+    reallocations: u32,
+    burst_reallocations: u32,
+    allocator_wall_secs: f64,
+    shrunk_plans: u32,
+    batching_proto: Box<dyn BatchPolicy>,
+    extra_ordered: u32,
+    provisioned: u32,
+    provision_realloc_at: Option<SimTime>,
+    device_stats: Vec<DeviceStats>,
+}
+
+impl Engine<'_> {
+    fn initial_plan(&mut self, provision: &FamilyMap<f64>) {
+        let ctx = AllocContext {
+            cluster: &self.cluster,
+            zoo: &self.config.zoo,
+            store: self.store,
+        };
+        let demand = provision.scaled(self.config.demand_headroom);
+        self.planned_for = *provision;
+        let start = std::time::Instant::now();
+        let plan = self.allocator.allocate(&ctx, &demand, None, SimTime::ZERO);
+        self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        self.reallocations += 1;
+        if plan.shrink() > 1.0 {
+            self.shrunk_plans += 1;
+        }
+        // Pre-loaded: apply without load delays.
+        for (i, worker) in self.workers.iter_mut().enumerate() {
+            worker.set_variant(plan.assignment(proteus_profiler::DeviceId(i as u32)));
+            worker.set_state(WorkerState::Idle);
+        }
+        self.routers = Router::from_plan(&plan);
+        self.plan = plan;
+    }
+
+    fn load_delay(&mut self, variant: Option<VariantId>) -> SimTime {
+        let Some(v) = variant else {
+            return SimTime::ZERO;
+        };
+        let gib = self
+            .config
+            .zoo
+            .variant(v)
+            .map_or(0.0, |s| s.memory_mib() / 1024.0);
+        let mut secs = self.config.load_base_secs + self.config.load_secs_per_gib * gib;
+        if self.config.startup_noise_secs > 0.0 {
+            secs += self.config.startup_noise_secs
+                * rand::Rng::random::<f64>(&mut self.rng);
+        }
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn noisy_latency(&mut self, ms: f64) -> SimTime {
+        let ms = if self.config.latency_noise_cv > 0.0 {
+            let factor =
+                (1.0 + self.config.latency_noise_cv * standard_normal(&mut self.rng)).max(0.3);
+            ms * factor
+        } else {
+            ms
+        };
+        SimTime::from_millis_f64(ms)
+    }
+
+    fn cancel_timer(&mut self, device: usize, sim: &mut Simulation<Event>) {
+        if let Some(key) = self.workers[device].timer.take() {
+            sim.cancel(key);
+        }
+    }
+
+    /// Re-evaluates batching on an idle worker.
+    fn poke(&mut self, device: usize, now: SimTime, sim: &mut Simulation<Event>) {
+        let store = self.store;
+        loop {
+            let worker = &mut self.workers[device];
+            if !worker.is_idle() {
+                return;
+            }
+            if worker.queue_len() == 0 {
+                self.cancel_timer(device, sim);
+                return;
+            }
+            let Some(variant) = worker.variant() else {
+                // No model hosted: nothing can serve these queries here.
+                let orphans = self.workers[device].drain_queue();
+                self.cancel_timer(device, sim);
+                for q in orphans {
+                    self.metrics.record_dropped(now, q.family);
+                }
+                return;
+            };
+            let device_type = worker.spec().device_type;
+            let profile = store
+                .profile(variant, device_type)
+                .expect("every (variant, device type) pair is profiled");
+            match self.workers[device].decide(now, profile) {
+                BatchDecision::Idle => {
+                    self.cancel_timer(device, sim);
+                    return;
+                }
+                BatchDecision::DropExpired(n) => {
+                    let dropped = self.workers[device].take_front(n);
+                    for q in dropped {
+                        self.metrics.record_dropped(now, q.family);
+                    }
+                }
+                BatchDecision::Execute(k) => {
+                    let k = k.max(1).min(self.workers[device].queue_len() as u32);
+                    let batch = self.workers[device].take_front(k as usize);
+                    let total_cost: f64 = batch.iter().map(|q| q.cost).sum();
+                    let until = now + self.noisy_latency(profile.latency_for_cost(total_cost));
+                    let stats = &mut self.device_stats[device];
+                    stats.busy += until - now;
+                    stats.batches += 1;
+                    stats.queries += batch.len() as u64;
+                    self.workers[device].set_state(WorkerState::Busy(until));
+                    self.cancel_timer(device, sim);
+                    sim.schedule(
+                        until,
+                        Event::BatchDone {
+                            device: device as u32,
+                            accuracy: profile.accuracy(),
+                            queries: batch,
+                        },
+                    );
+                    return;
+                }
+                BatchDecision::WaitUntil(t) => {
+                    // Guard against a policy returning a non-future time.
+                    let t = t.max(now + SimTime::from_nanos(1));
+                    self.cancel_timer(device, sim);
+                    self.workers[device].timer =
+                        Some(sim.schedule(t, Event::WorkerTimer(device as u32)));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn start_load(&mut self, device: usize, now: SimTime, sim: &mut Simulation<Event>) {
+        let variant = self.workers[device].variant();
+        let delay = self.load_delay(variant);
+        self.cancel_timer(device, sim);
+        let worker = &mut self.workers[device];
+        if delay == SimTime::ZERO {
+            worker.set_state(WorkerState::Idle);
+            self.poke(device, now, sim);
+            return;
+        }
+        worker.load_generation += 1;
+        let generation = worker.load_generation;
+        worker.set_state(WorkerState::Loading(now + delay));
+        sim.schedule(
+            now + delay,
+            Event::LoadDone {
+                device: device as u32,
+                generation,
+            },
+        );
+    }
+
+    fn apply_plan(&mut self, plan: AllocationPlan, now: SimTime, sim: &mut Simulation<Event>) {
+        let mut displaced: Vec<Query> = Vec::new();
+        let mut to_load: Vec<usize> = Vec::new();
+        for i in 0..self.workers.len() {
+            // A plan computed just before an elastic device came online may
+            // be narrower than the worker set; extra workers keep their
+            // assignment until the next re-allocation covers them.
+            if i >= plan.num_devices() {
+                continue;
+            }
+            let new = plan.assignment(proteus_profiler::DeviceId(i as u32));
+            let old = self.workers[i].variant();
+            if new == old {
+                continue;
+            }
+            // Queries of a different family than the new variant cannot stay.
+            let family_changed = match (old, new) {
+                (Some(o), Some(n)) => o.family != n.family,
+                (None, Some(_)) => false,
+                (_, None) => true,
+            };
+            if family_changed {
+                displaced.extend(self.workers[i].drain_queue());
+            }
+            self.workers[i].set_variant(new);
+            match self.workers[i].state() {
+                WorkerState::Busy(_) => {
+                    // Swap after the in-flight batch completes.
+                    self.workers[i].pending_load = Some(SimTime::ZERO); // marker
+                }
+                _ => to_load.push(i),
+            }
+        }
+        self.routers = Router::from_plan(&plan);
+        self.plan = plan;
+        for i in to_load {
+            self.start_load(i, now, sim);
+        }
+        // Re-route displaced queries through the new routers.
+        let mut touched = Vec::new();
+        for q in displaced {
+            match self.route(q.family) {
+                Some(d) => {
+                    match self.workers[d].enqueue(q) {
+                        Ok(()) => touched.push(d),
+                        Err(q) => self.metrics.record_dropped(now, q.family),
+                    }
+                }
+                None => self.metrics.record_dropped(now, q.family),
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for d in touched {
+            self.poke(d, now, sim);
+        }
+    }
+
+    fn route(&mut self, family: proteus_profiler::ModelFamily) -> Option<usize> {
+        self.routers[family.index()].route().map(|d| d.0 as usize)
+    }
+
+    fn reallocate(&mut self, now: SimTime, burst: bool, sim: &mut Simulation<Event>) {
+        // Critical-path allocators (INFaaS) react to the raw last-second
+        // rate — they decide per query, with no monitoring-daemon smoothing;
+        // the decoupled controller plans on smoothed statistics.
+        let observed = if self.allocator.on_critical_path() {
+            self.estimator.instantaneous()
+        } else {
+            self.estimator.for_planning()
+        };
+        let demand = observed.scaled(self.config.demand_headroom);
+        self.planned_for = observed;
+        let ctx = AllocContext {
+            cluster: &self.cluster,
+            zoo: &self.config.zoo,
+            store: self.store,
+        };
+        let start = std::time::Instant::now();
+        let plan = self
+            .allocator
+            .allocate(&ctx, &demand, Some(&self.plan), now);
+        self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        self.reallocations += 1;
+        if burst {
+            self.burst_reallocations += 1;
+        }
+        if plan.shrink() > 1.0 {
+            self.shrunk_plans += 1;
+        }
+        self.last_realloc = now;
+
+        // §7 tandem: when even minimum accuracy cannot absorb the demand
+        // (the plan had to shrink), order enough hardware to cover the
+        // deficit; accuracy scaling carries the load until it arrives.
+        if let Some(elastic) = self.config.elastic {
+            if plan.shrink() > elastic.shrink_trigger
+                && self.extra_ordered < elastic.max_extra_devices
+            {
+                let deficit_qps = demand.total() * (1.0 - 1.0 / plan.shrink());
+                let per_device_qps =
+                    (plan.total_capacity() / self.cluster.len().max(1) as f64).max(1.0);
+                let wanted = (deficit_qps / per_device_qps).ceil().max(1.0) as u32;
+                let order = wanted.min(elastic.max_extra_devices - self.extra_ordered);
+                self.extra_ordered += order;
+                let ready = now + SimTime::from_secs_f64(elastic.provision_delay_secs);
+                if ready <= self.horizon {
+                    for _ in 0..order {
+                        sim.schedule(
+                            ready,
+                            Event::ProvisionReady(proteus_profiler::DeviceType::V100),
+                        );
+                    }
+                }
+            }
+        }
+        self.apply_plan(plan, now, sim);
+    }
+}
+
+impl Actor for Engine<'_> {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sim: &mut Simulation<Event>) {
+        match event {
+            Event::NextArrival(i) => {
+                let arrival = self.arrivals[i];
+                self.metrics.record_arrival(now, arrival.family);
+                self.estimator.record(arrival.family);
+                let slo = SimTime::from_millis_f64(self.store.slo_ms(arrival.family));
+                let query =
+                    Query::new(QueryId(i as u64), arrival.family, now, slo).with_cost(arrival.cost);
+                match self.route(arrival.family) {
+                    Some(d) => match self.workers[d].enqueue(query) {
+                        Ok(()) => self.poke(d, now, sim),
+                        Err(q) => self.metrics.record_dropped(now, q.family),
+                    },
+                    None => self.metrics.record_dropped(now, arrival.family),
+                }
+                if let Some(next) = self.arrivals.get(i + 1) {
+                    sim.schedule(next.at, Event::NextArrival(i + 1));
+                }
+            }
+            Event::WorkerTimer(d) => {
+                let d = d as usize;
+                self.workers[d].timer = None;
+                self.poke(d, now, sim);
+            }
+            Event::BatchDone {
+                device,
+                accuracy,
+                queries,
+            } => {
+                let d = device as usize;
+                let mut any_late = false;
+                for q in &queries {
+                    let on_time = now <= q.deadline;
+                    any_late |= !on_time;
+                    self.metrics.record_served_latency(
+                        now,
+                        q.family,
+                        accuracy,
+                        on_time,
+                        now.saturating_sub(q.arrived),
+                    );
+                }
+                self.workers[d].policy_mut().on_batch_complete(any_late);
+                self.workers[d].set_state(WorkerState::Idle);
+                if self.workers[d].pending_load.take().is_some() {
+                    self.start_load(d, now, sim);
+                } else {
+                    self.poke(d, now, sim);
+                }
+            }
+            Event::LoadDone { device, generation } => {
+                let d = device as usize;
+                if self.workers[d].load_generation != generation {
+                    return; // superseded by a newer plan
+                }
+                if matches!(self.workers[d].state(), WorkerState::Loading(_)) {
+                    self.workers[d].set_state(WorkerState::Idle);
+                    self.poke(d, now, sim);
+                }
+            }
+            Event::MonitorTick => {
+                self.estimator.roll(now);
+                if !self.allocator.is_static() {
+                    if self.allocator.on_critical_path() {
+                        // INFaaS-style: cheap heuristic runs every tick.
+                        self.reallocate(now, false, sim);
+                    } else {
+                        // Burst detection (monitoring daemon → controller):
+                        // demand outgrowing what the plan was built for.
+                        let inst = self.estimator.instantaneous();
+                        let cooldown =
+                            SimTime::from_secs_f64(self.config.burst_cooldown_secs);
+                        let calm = now.saturating_sub(self.last_realloc) >= cooldown;
+                        let bursty = inst.iter().any(|(f, &rate)| {
+                            let planned = self.planned_for[f].max(1.0);
+                            // Relative growth plus a 3-sigma Poisson guard
+                            // band, so counting noise on low-rate families
+                            // does not masquerade as a burst.
+                            let trigger = self.config.burst_threshold * planned
+                                + 3.0 * planned.sqrt();
+                            rate > 5.0 && rate > trigger
+                        });
+                        if calm && bursty {
+                            self.reallocate(now, true, sim);
+                        }
+                    }
+                }
+                let next = now + SimTime::from_secs_f64(self.config.monitor_period_secs);
+                if next <= self.horizon {
+                    sim.schedule(next, Event::MonitorTick);
+                }
+            }
+            Event::Reallocate => {
+                self.reallocate(now, false, sim);
+                let next = now + SimTime::from_secs_f64(self.config.realloc_period_secs);
+                if next <= self.horizon {
+                    sim.schedule(next, Event::Reallocate);
+                }
+            }
+            Event::ProvisionReady(device_type) => {
+                let id = self.cluster.add(device_type);
+                let spec = *self.cluster.device(id).expect("just added");
+                self.workers.push(Worker::new(
+                    spec,
+                    self.batching_proto.clone_box(),
+                    self.config.queue_cap,
+                ));
+                self.device_stats.push(DeviceStats::default());
+                self.provisioned += 1;
+                // Fold new devices into service with one re-allocation per
+                // provisioning batch, after every same-instant arrival has
+                // registered (FIFO ordering guarantees this event fires
+                // last).
+                if self.provision_realloc_at != Some(now) {
+                    self.provision_realloc_at = Some(now);
+                    sim.schedule(now, Event::ProvisionedRealloc);
+                }
+            }
+            Event::ProvisionedRealloc => {
+                self.reallocate(now, false, sim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::{ProteusBatching, StaticBatching};
+    use crate::schedulers::{ClipperAllocator, ClipperMode, ProteusAllocator};
+    use proteus_profiler::ModelFamily;
+    use proteus_workloads::{FlatTrace, TraceBuilder};
+
+    fn flat_arrivals(qps: f64, secs: u32, seed: u64) -> Vec<QueryArrival> {
+        TraceBuilder::new(TraceBuilder::paper_families())
+            .seed(seed)
+            .build(&FlatTrace { qps, secs })
+    }
+
+    fn run_proteus(qps: f64, secs: u32) -> RunOutcome {
+        let mut system = ServingSystem::new(
+            SystemConfig::small(),
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        system.run(&flat_arrivals(qps, secs, 7))
+    }
+
+    #[test]
+    fn light_load_serves_everything_on_time() {
+        let outcome = run_proteus(20.0, 15);
+        let s = outcome.metrics.summary();
+        assert!(s.total_arrived > 200);
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert!(
+            s.slo_violation_ratio < 0.02,
+            "light load must be nearly violation-free, got {}",
+            s.slo_violation_ratio
+        );
+        assert!(s.effective_accuracy > 0.9, "got {}", s.effective_accuracy);
+    }
+
+    #[test]
+    fn accounting_is_conserved_under_overload() {
+        // Far beyond the 4-device capacity: drops must appear, and
+        // arrived == served + dropped must still hold after draining.
+        let outcome = run_proteus(3000.0, 6);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert!(s.total_dropped > 0, "overload must drop queries");
+    }
+
+    #[test]
+    fn overload_scales_accuracy_down() {
+        let light = run_proteus(10.0, 20).metrics.summary();
+        let heavy = run_proteus(800.0, 20).metrics.summary();
+        assert!(
+            heavy.effective_accuracy < light.effective_accuracy,
+            "{} !< {}",
+            heavy.effective_accuracy,
+            light.effective_accuracy
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_proteus(100.0, 10).metrics.summary();
+        let b = run_proteus(100.0, 10).metrics.summary();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_allocator_never_reallocates() {
+        let mut system = ServingSystem::new(
+            SystemConfig::small(),
+            Box::new(ClipperAllocator::new(ClipperMode::HighThroughput)),
+            Box::new(ProteusBatching),
+        );
+        let outcome = system.run(&flat_arrivals(50.0, 15, 3));
+        assert_eq!(outcome.reallocations, 1, "only the initial allocation");
+        let s = outcome.metrics.summary();
+        assert!(s.total_served > 0);
+        // HT hosts only least accurate variants.
+        assert!(
+            s.effective_accuracy < 0.9,
+            "Clipper-HT accuracy must be near the floor, got {}",
+            s.effective_accuracy
+        );
+    }
+
+    #[test]
+    fn proteus_reallocates_periodically() {
+        let mut config = SystemConfig::small();
+        config.realloc_period_secs = 5.0;
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let outcome = system.run(&flat_arrivals(50.0, 21, 3));
+        // Initial + at least 3 periodic re-allocations over 21 s.
+        assert!(outcome.reallocations >= 4, "got {}", outcome.reallocations);
+        assert!(outcome.allocator_wall_secs > 0.0);
+    }
+
+    #[test]
+    fn static_batch_one_hurts_at_load() {
+        let arrivals = flat_arrivals(500.0, 12, 11);
+        let mut adaptive = ServingSystem::new(
+            SystemConfig::small(),
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut fixed = ServingSystem::new(
+            SystemConfig::small(),
+            Box::new(ProteusAllocator::default()),
+            Box::new(StaticBatching::new(1)),
+        );
+        let a = adaptive.run(&arrivals).metrics.summary();
+        let f = fixed.run(&arrivals).metrics.summary();
+        assert!(
+            f.slo_violation_ratio > a.slo_violation_ratio,
+            "batch=1 must violate more at 500 QPS: {} vs {}",
+            f.slo_violation_ratio,
+            a.slo_violation_ratio
+        );
+    }
+
+    #[test]
+    fn mean_demand_matches_trace() {
+        let arrivals = flat_arrivals(200.0, 30, 5);
+        let d = mean_demand(&arrivals);
+        assert!((d.total() - 200.0).abs() < 15.0, "total {}", d.total());
+        // Zipf rank 1 (EfficientNet) dominates.
+        assert!(d[ModelFamily::EfficientNet] > d[ModelFamily::Gpt2]);
+    }
+
+    #[test]
+    fn noise_changes_results_but_preserves_accounting() {
+        let arrivals = flat_arrivals(150.0, 10, 9);
+        let mut noisy = ServingSystem::new(
+            SystemConfig::small().with_cluster_noise(0.1, 1.0),
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let s = noisy.run(&arrivals).metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+    }
+
+    #[test]
+    fn ramps_trigger_repeated_reallocation() {
+        // A steep ramp must keep firing the burst detector (demand outgrows
+        // the plan's baseline), far more often than the periodic cadence.
+        let trace = proteus_workloads::DiurnalTrace::new(
+            60, 30.0, 600.0, 1, 0.0, 0.0, 1.0, 2,
+        );
+        let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+            .seed(2)
+            .build(&trace);
+        let mut config = SystemConfig::small();
+        config.realloc_period_secs = 1e9; // periodic cadence off
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let outcome = system.run(&arrivals);
+        assert!(
+            outcome.burst_reallocations >= 3,
+            "a 20x ramp must fire the burst detector repeatedly, got {}",
+            outcome.burst_reallocations
+        );
+    }
+
+    #[test]
+    fn flat_load_does_not_thrash_the_controller() {
+        let arrivals = flat_arrivals(120.0, 30, 6);
+        let mut config = SystemConfig::small();
+        config.realloc_period_secs = 10.0;
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let outcome = system.run(&arrivals);
+        // Initial + ~3 periodic; Poisson noise on a flat trace must not
+        // masquerade as bursts.
+        assert!(
+            outcome.burst_reallocations <= 2,
+            "flat load fired {} burst re-allocations",
+            outcome.burst_reallocations
+        );
+    }
+
+    #[test]
+    fn device_stats_account_execution() {
+        let outcome = run_proteus(100.0, 10);
+        let s = outcome.metrics.summary();
+        let total_queries: u64 = outcome.device_stats.iter().map(|d| d.queries).sum();
+        assert_eq!(total_queries, s.total_served, "every served query ran in some batch");
+        let busiest = outcome
+            .device_stats
+            .iter()
+            .map(|d| d.utilization(SimTime::from_secs(10)))
+            .fold(0.0, f64::max);
+        assert!(busiest > 0.0 && busiest <= 1.05, "utilization {busiest}");
+        let active = outcome.device_stats.iter().filter(|d| d.batches > 0);
+        for d in active {
+            assert!(d.mean_batch() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_is_populated() {
+        let outcome = run_proteus(80.0, 10);
+        let h = outcome.metrics.latency_histogram();
+        assert_eq!(h.count(), outcome.metrics.summary().total_served);
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p99 > SimTime::ZERO);
+        // Served-on-time queries sit within their family SLOs; the overall
+        // p50 must be well under the largest SLO in the zoo (~1 s).
+        assert!(h.percentile(0.5).unwrap() < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn elastic_scaling_orders_hardware_under_saturation() {
+        use super::ElasticScaling;
+        // Sustained heavy overload on a tiny cluster: the plan must shrink,
+        // which (with the §7 tandem extension on) orders extra V100s.
+        let arrivals = flat_arrivals(2500.0, 25, 21);
+        let mut fixed_cfg = SystemConfig::small();
+        fixed_cfg.realloc_period_secs = 5.0;
+        let mut elastic_cfg = fixed_cfg.clone();
+        elastic_cfg.elastic = Some(ElasticScaling {
+            provision_delay_secs: 6.0,
+            max_extra_devices: 6,
+            shrink_trigger: 1.02,
+        });
+        let mut fixed = ServingSystem::new(
+            fixed_cfg,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut elastic = ServingSystem::new(
+            elastic_cfg,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let f = fixed.run(&arrivals);
+        let e = elastic.run(&arrivals);
+        assert_eq!(f.provisioned_devices, 0);
+        assert!(
+            e.provisioned_devices >= 1,
+            "saturation must trigger provisioning"
+        );
+        let fs = f.metrics.summary();
+        let es = e.metrics.summary();
+        assert_eq!(es.total_arrived, es.total_served + es.total_dropped);
+        assert!(
+            es.avg_throughput_qps > fs.avg_throughput_qps,
+            "extra hardware must raise served throughput: {} vs {}",
+            es.avg_throughput_qps,
+            fs.avg_throughput_qps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_rejected() {
+        let mut arrivals = flat_arrivals(10.0, 5, 1);
+        arrivals.reverse();
+        let mut system = ServingSystem::new(
+            SystemConfig::small(),
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        system.run(&arrivals);
+    }
+}

@@ -1,0 +1,278 @@
+//! Event ingestion and interval bucketing.
+
+use std::collections::HashMap;
+
+use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
+
+/// Counters for one `(interval, family)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bucket {
+    /// Queries that arrived during the interval.
+    pub arrived: u64,
+    /// Queries whose response completed during the interval, within SLO.
+    pub served_on_time: u64,
+    /// Queries whose response completed during the interval but late.
+    pub served_late: u64,
+    /// Queries dropped (expired or shed) during the interval.
+    pub dropped: u64,
+    /// Sum of normalized accuracy over all served queries (on time or late).
+    pub accuracy_sum: f64,
+}
+
+impl Bucket {
+    /// All queries that produced a response this interval.
+    pub fn served(&self) -> u64 {
+        self.served_on_time + self.served_late
+    }
+
+    /// Dropped plus late — the paper counts both as SLO violations.
+    pub fn violations(&self) -> u64 {
+        self.dropped + self.served_late
+    }
+
+    /// Mean accuracy of served queries, or `None` if nothing was served.
+    pub fn effective_accuracy(&self) -> Option<f64> {
+        let served = self.served();
+        (served > 0).then(|| self.accuracy_sum / served as f64)
+    }
+
+    fn merge(&mut self, other: &Bucket) {
+        self.arrived += other.arrived;
+        self.served_on_time += other.served_on_time;
+        self.served_late += other.served_late;
+        self.dropped += other.dropped;
+        self.accuracy_sum += other.accuracy_sum;
+    }
+}
+
+/// Ingests per-query events and buckets them by time interval and family.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    interval: SimTime,
+    cells: HashMap<(u64, ModelFamily), Bucket>,
+    latency: crate::LatencyHistogram,
+    latency_by_family: HashMap<ModelFamily, crate::LatencyHistogram>,
+    end: SimTime,
+}
+
+impl MetricsCollector {
+    /// Creates a collector with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "bucket interval must be positive");
+        Self {
+            interval,
+            cells: HashMap::new(),
+            latency: crate::LatencyHistogram::new(),
+            latency_by_family: HashMap::new(),
+            end: SimTime::ZERO,
+        }
+    }
+
+    /// The configured bucket width.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    fn bucket_index(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.interval.as_nanos()
+    }
+
+    fn cell(&mut self, at: SimTime, family: ModelFamily) -> &mut Bucket {
+        self.end = self.end.max(at);
+        let idx = self.bucket_index(at);
+        self.cells.entry((idx, family)).or_default()
+    }
+
+    /// Records a query arrival.
+    pub fn record_arrival(&mut self, at: SimTime, family: ModelFamily) {
+        self.cell(at, family).arrived += 1;
+    }
+
+    /// Records a completed query: `accuracy` is the serving variant's
+    /// normalized accuracy, `on_time` whether the response met its SLO.
+    pub fn record_served(&mut self, at: SimTime, family: ModelFamily, accuracy: f64, on_time: bool) {
+        let cell = self.cell(at, family);
+        if on_time {
+            cell.served_on_time += 1;
+        } else {
+            cell.served_late += 1;
+        }
+        cell.accuracy_sum += accuracy;
+    }
+
+    /// Like [`record_served`](Self::record_served), additionally recording
+    /// the end-to-end response latency into the aggregate and per-family
+    /// histograms.
+    pub fn record_served_latency(
+        &mut self,
+        at: SimTime,
+        family: ModelFamily,
+        accuracy: f64,
+        on_time: bool,
+        latency: SimTime,
+    ) {
+        self.record_served(at, family, accuracy, on_time);
+        self.latency.record(latency);
+        self.latency_by_family
+            .entry(family)
+            .or_default()
+            .record(latency);
+    }
+
+    /// The aggregate response-latency histogram (populated by
+    /// [`record_served_latency`](Self::record_served_latency)).
+    pub fn latency_histogram(&self) -> &crate::LatencyHistogram {
+        &self.latency
+    }
+
+    /// Per-family response-latency histogram, if the family served any
+    /// latency-recorded query.
+    pub fn family_latency(&self, family: ModelFamily) -> Option<&crate::LatencyHistogram> {
+        self.latency_by_family.get(&family)
+    }
+
+    /// Records a dropped query (expired in queue or shed by the system).
+    pub fn record_dropped(&mut self, at: SimTime, family: ModelFamily) {
+        self.cell(at, family).dropped += 1;
+    }
+
+    /// Number of whole buckets covered so far (index of the last touched
+    /// bucket plus one; zero if nothing was recorded).
+    pub fn num_buckets(&self) -> u64 {
+        if self.cells.is_empty() {
+            0
+        } else {
+            self.bucket_index(self.end) + 1
+        }
+    }
+
+    /// The aggregate bucket for one interval (all families merged).
+    pub fn bucket(&self, index: u64) -> Bucket {
+        let mut out = Bucket::default();
+        for family in ModelFamily::ALL {
+            if let Some(b) = self.cells.get(&(index, family)) {
+                out.merge(b);
+            }
+        }
+        out
+    }
+
+    /// The bucket for one `(interval, family)` cell.
+    pub fn family_bucket(&self, index: u64, family: ModelFamily) -> Bucket {
+        self.cells.get(&(index, family)).copied().unwrap_or_default()
+    }
+
+    /// Aggregate timeseries over all buckets, one entry per interval.
+    pub fn timeseries(&self) -> Vec<Bucket> {
+        (0..self.num_buckets()).map(|i| self.bucket(i)).collect()
+    }
+
+    /// Timeseries for one family.
+    pub fn family_timeseries(&self, family: ModelFamily) -> Vec<Bucket> {
+        (0..self.num_buckets())
+            .map(|i| self.family_bucket(i, family))
+            .collect()
+    }
+
+    /// Condenses the run into the paper's four headline metrics.
+    pub fn summary(&self) -> crate::RunSummary {
+        crate::RunSummary::from_collector(self)
+    }
+
+    /// Per-family summaries (Fig. 9 breakdown).
+    pub fn family_summaries(&self) -> Vec<crate::FamilySummary> {
+        ModelFamily::ALL
+            .into_iter()
+            .filter_map(|f| crate::FamilySummary::from_collector(self, f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn buckets_split_by_interval() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        m.record_arrival(t(100), ModelFamily::ResNet);
+        m.record_arrival(t(900), ModelFamily::ResNet);
+        m.record_arrival(t(1100), ModelFamily::ResNet);
+        assert_eq!(m.num_buckets(), 2);
+        assert_eq!(m.bucket(0).arrived, 2);
+        assert_eq!(m.bucket(1).arrived, 1);
+    }
+
+    #[test]
+    fn families_are_separated() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        m.record_served(t(10), ModelFamily::ResNet, 0.9, true);
+        m.record_served(t(20), ModelFamily::Bert, 0.8, false);
+        assert_eq!(m.family_bucket(0, ModelFamily::ResNet).served(), 1);
+        assert_eq!(m.family_bucket(0, ModelFamily::Bert).served_late, 1);
+        let agg = m.bucket(0);
+        assert_eq!(agg.served(), 2);
+        assert_eq!(agg.violations(), 1);
+        assert!((agg.effective_accuracy().unwrap() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_counts_as_violation() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        m.record_dropped(t(10), ModelFamily::T5);
+        let b = m.bucket(0);
+        assert_eq!(b.violations(), 1);
+        assert_eq!(b.served(), 0);
+        assert_eq!(b.effective_accuracy(), None);
+    }
+
+    #[test]
+    fn timeseries_has_dense_indices() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        m.record_arrival(t(500), ModelFamily::ResNet);
+        m.record_arrival(t(3500), ModelFamily::ResNet);
+        let ts = m.timeseries();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0].arrived, 1);
+        assert_eq!(ts[1].arrived, 0);
+        assert_eq!(ts[3].arrived, 1);
+    }
+
+    #[test]
+    fn latency_recording_feeds_histograms() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        m.record_served_latency(t(10), ModelFamily::ResNet, 0.9, true, t(25));
+        m.record_served_latency(t(20), ModelFamily::Bert, 0.8, false, t(75));
+        assert_eq!(m.latency_histogram().count(), 2);
+        assert_eq!(m.family_latency(ModelFamily::ResNet).unwrap().count(), 1);
+        assert!(m.family_latency(ModelFamily::T5).is_none());
+        assert_eq!(m.latency_histogram().max(), t(75));
+        // The bucket counters are updated too.
+        assert_eq!(m.bucket(0).served(), 2);
+        assert_eq!(m.bucket(0).served_late, 1);
+    }
+
+    #[test]
+    fn empty_collector() {
+        let m = MetricsCollector::new(SimTime::from_secs(1));
+        assert_eq!(m.num_buckets(), 0);
+        assert!(m.timeseries().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        MetricsCollector::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! Measurement: per-interval timeseries, run summaries and report rendering.
+//!
+//! The paper evaluates every system with four metrics (§6.1.4):
+//!
+//! 1. **Throughput** — queries served per second;
+//! 2. **Effective accuracy** — mean normalized accuracy over *served*
+//!    queries;
+//! 3. **Maximum accuracy drop** — the largest dip of effective accuracy
+//!    below 100 % anywhere in the trace;
+//! 4. **SLO violation ratio** — (dropped + late) / total queries.
+//!
+//! [`MetricsCollector`] ingests per-query events from the serving system and
+//! buckets them into fixed intervals; [`RunSummary`] condenses a run into
+//! the four headline metrics (plus per-family breakdowns for Fig. 9); the
+//! [`report`] module renders plain-text tables and CSV for the experiment
+//! binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use proteus_metrics::MetricsCollector;
+//! use proteus_profiler::ModelFamily;
+//! use proteus_sim::SimTime;
+//!
+//! let mut m = MetricsCollector::new(SimTime::from_secs(1));
+//! let t = SimTime::from_millis(300);
+//! m.record_arrival(t, ModelFamily::ResNet);
+//! m.record_served(t + SimTime::from_millis(40), ModelFamily::ResNet, 0.95, true);
+//! let summary = m.summary();
+//! assert_eq!(summary.total_arrived, 1);
+//! assert!((summary.effective_accuracy - 0.95).abs() < 1e-12);
+//! assert_eq!(summary.slo_violation_ratio, 0.0);
+//! ```
+
+mod collector;
+mod latency;
+pub mod report;
+mod summary;
+
+pub use collector::{Bucket, MetricsCollector};
+pub use latency::LatencyHistogram;
+pub use summary::{FamilySummary, RunSummary};

@@ -1,0 +1,115 @@
+//! Property-based tests of metric aggregation: conservation, bucket
+//! re-aggregation and summary consistency under random event streams.
+
+use proptest::prelude::*;
+use proteus_metrics::{MetricsCollector, RunSummary};
+use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrive(u64, usize),
+    Serve(u64, usize, f64, bool),
+    Drop(u64, usize),
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u64..30_000, 0usize..9).prop_map(|(t, f)| Ev::Arrive(t, f)),
+        (0u64..30_000, 0usize..9, 0.8f64..1.0, any::<bool>())
+            .prop_map(|(t, f, a, on)| Ev::Serve(t, f, a, on)),
+        (0u64..30_000, 0usize..9).prop_map(|(t, f)| Ev::Drop(t, f)),
+    ]
+}
+
+fn replay(events: &[Ev], interval: SimTime) -> MetricsCollector {
+    let mut m = MetricsCollector::new(interval);
+    for e in events {
+        match *e {
+            Ev::Arrive(t, f) => m.record_arrival(SimTime::from_millis(t), ModelFamily::from_index(f)),
+            Ev::Serve(t, f, a, on) => {
+                m.record_served(SimTime::from_millis(t), ModelFamily::from_index(f), a, on)
+            }
+            Ev::Drop(t, f) => m.record_dropped(SimTime::from_millis(t), ModelFamily::from_index(f)),
+        }
+    }
+    m
+}
+
+proptest! {
+    /// Totals are conserved: the summary equals the sum over buckets equals
+    /// the sum over family summaries.
+    #[test]
+    fn totals_are_conserved(events in prop::collection::vec(event_strategy(), 0..300)) {
+        let m = replay(&events, SimTime::from_secs(1));
+        let s = m.summary();
+        let arrivals = events.iter().filter(|e| matches!(e, Ev::Arrive(..))).count() as u64;
+        let serves = events.iter().filter(|e| matches!(e, Ev::Serve(..))).count() as u64;
+        let drops = events.iter().filter(|e| matches!(e, Ev::Drop(..))).count() as u64;
+        prop_assert_eq!(s.total_arrived, arrivals);
+        prop_assert_eq!(s.total_served, serves);
+        prop_assert_eq!(s.total_dropped, drops);
+        let by_family: u64 = m.family_summaries().iter().map(|f| f.summary.total_arrived).sum();
+        prop_assert_eq!(by_family, arrivals);
+        let by_bucket: u64 = m.timeseries().iter().map(|b| b.arrived).sum();
+        prop_assert_eq!(by_bucket, arrivals);
+    }
+
+    /// Violation ratio is dropped+late over arrived, bounded by the events.
+    #[test]
+    fn violation_ratio_matches_definition(events in prop::collection::vec(event_strategy(), 1..300)) {
+        let m = replay(&events, SimTime::from_secs(1));
+        let s = m.summary();
+        let late = events
+            .iter()
+            .filter(|e| matches!(e, Ev::Serve(_, _, _, false)))
+            .count() as u64;
+        let drops = events.iter().filter(|e| matches!(e, Ev::Drop(..))).count() as u64;
+        prop_assert_eq!(s.total_violations, late + drops);
+        if s.total_arrived > 0 {
+            let expect = (late + drops) as f64 / s.total_arrived as f64;
+            prop_assert!((s.slo_violation_ratio - expect).abs() < 1e-12);
+        }
+    }
+
+    /// Whole-run aggregates are invariant to the bucket width (only the
+    /// time-resolved statistics depend on it).
+    #[test]
+    fn totals_invariant_to_bucket_width(
+        events in prop::collection::vec(event_strategy(), 1..200),
+        width_ms in 100u64..5000,
+    ) {
+        let a = replay(&events, SimTime::from_secs(1)).summary();
+        let b = replay(&events, SimTime::from_millis(width_ms)).summary();
+        prop_assert_eq!(a.total_arrived, b.total_arrived);
+        prop_assert_eq!(a.total_served, b.total_served);
+        prop_assert_eq!(a.total_violations, b.total_violations);
+        prop_assert!((a.effective_accuracy - b.effective_accuracy).abs() < 1e-12);
+        prop_assert!((a.slo_violation_ratio - b.slo_violation_ratio).abs() < 1e-12);
+    }
+
+    /// `RunSummary::from_buckets` on the collector's own timeseries agrees
+    /// with `summary()`.
+    #[test]
+    fn from_buckets_round_trips(events in prop::collection::vec(event_strategy(), 0..200)) {
+        let m = replay(&events, SimTime::from_secs(1));
+        let direct = m.summary();
+        let via_buckets = RunSummary::from_buckets(&m.timeseries(), 1.0);
+        prop_assert_eq!(direct, via_buckets);
+    }
+
+    /// Effective accuracy is always within the range of recorded accuracies.
+    #[test]
+    fn effective_accuracy_is_bounded(events in prop::collection::vec(event_strategy(), 1..200)) {
+        let m = replay(&events, SimTime::from_secs(1));
+        let s = m.summary();
+        if s.total_served > 0 {
+            prop_assert!(s.effective_accuracy >= 0.8 - 1e-12);
+            prop_assert!(s.effective_accuracy <= 1.0 + 1e-12);
+            prop_assert!(s.max_accuracy_drop >= 0.0);
+            prop_assert!(s.max_accuracy_drop <= 0.2 + 1e-9);
+        } else {
+            prop_assert_eq!(s.effective_accuracy, 0.0);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Device types and the heterogeneous cluster description.
+
+use std::fmt;
+
+/// The hardware classes of the paper's evaluation cluster (§6.1.5).
+///
+/// Profiles are keyed by device *type*, not by individual device — devices
+/// of one type are interchangeable, which is also what makes the
+/// type-aggregated MILP formulation exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Intel Xeon Gold 6126 CPU worker.
+    Cpu,
+    /// NVIDIA GeForce GTX 1080 Ti GPU worker.
+    Gtx1080Ti,
+    /// NVIDIA V100 GPU worker.
+    V100,
+}
+
+impl DeviceType {
+    /// All device types, in a fixed canonical order.
+    pub const ALL: [DeviceType; 3] = [DeviceType::Cpu, DeviceType::Gtx1080Ti, DeviceType::V100];
+
+    /// Usable model memory in MiB.
+    ///
+    /// CPU workers use host RAM (32 GiB); the 1080 Ti has 11 GiB of VRAM and
+    /// the V100 16 GiB.
+    pub fn memory_mib(self) -> f64 {
+        match self {
+            DeviceType::Cpu => 32_768.0,
+            DeviceType::Gtx1080Ti => 11_264.0,
+            DeviceType::V100 => 16_384.0,
+        }
+    }
+
+    /// Relative compute speed (V100 ≡ 1.0; larger is slower).
+    ///
+    /// Used by [`LatencyModel`](crate::LatencyModel) to scale the reference
+    /// latency of a variant onto this device type.
+    pub fn slowdown(self) -> f64 {
+        match self {
+            DeviceType::Cpu => 14.0,
+            DeviceType::Gtx1080Ti => 1.8,
+            DeviceType::V100 => 1.0,
+        }
+    }
+
+    /// Marginal cost of one extra batched item relative to the first item.
+    ///
+    /// GPUs amortize batched work well (high parallelism), CPUs barely at
+    /// all; this is what makes batching far more attractive on accelerators.
+    pub fn batch_marginal(self) -> f64 {
+        match self {
+            DeviceType::Cpu => 0.95,
+            DeviceType::Gtx1080Ti => 0.40,
+            DeviceType::V100 => 0.28,
+        }
+    }
+
+    /// Fixed per-inference-call overhead in milliseconds (kernel launch,
+    /// framework dispatch).
+    pub fn kernel_overhead_ms(self) -> f64 {
+        match self {
+            DeviceType::Cpu => 0.5,
+            DeviceType::Gtx1080Ti => 1.2,
+            DeviceType::V100 => 1.0,
+        }
+    }
+
+    /// Short human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceType::Cpu => "CPU",
+            DeviceType::Gtx1080Ti => "1080Ti",
+            DeviceType::V100 => "V100",
+        }
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Identifier of a concrete device within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A concrete device: an id plus its hardware type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Cluster-unique identifier.
+    pub id: DeviceId,
+    /// Hardware class of this device.
+    pub device_type: DeviceType,
+}
+
+/// The fixed-size heterogeneous cluster the system serves on.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_profiler::{Cluster, DeviceType};
+///
+/// let cluster = Cluster::paper_testbed();
+/// assert_eq!(cluster.len(), 40);
+/// assert_eq!(cluster.count_of(DeviceType::V100), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cluster {
+    devices: Vec<DeviceSpec>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster; add devices with [`add`](Self::add).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a cluster with `counts` devices of each type, ids assigned
+    /// densely in [`DeviceType::ALL`] order.
+    pub fn with_counts(cpu: u32, gtx: u32, v100: u32) -> Self {
+        let mut cluster = Cluster::new();
+        for _ in 0..cpu {
+            cluster.add(DeviceType::Cpu);
+        }
+        for _ in 0..gtx {
+            cluster.add(DeviceType::Gtx1080Ti);
+        }
+        for _ in 0..v100 {
+            cluster.add(DeviceType::V100);
+        }
+        cluster
+    }
+
+    /// The paper's testbed: 20 CPU + 10 GTX 1080 Ti + 10 V100 workers.
+    pub fn paper_testbed() -> Self {
+        Self::with_counts(20, 10, 10)
+    }
+
+    /// Appends one device of `device_type`, returning its new id.
+    pub fn add(&mut self, device_type: DeviceType) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(DeviceSpec { id, device_type });
+        id
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the cluster has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Iterates over all devices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceSpec> + '_ {
+        self.devices.iter()
+    }
+
+    /// Looks up a device by id.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceSpec> {
+        self.devices.get(id.0 as usize)
+    }
+
+    /// Number of devices of the given type.
+    pub fn count_of(&self, device_type: DeviceType) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.device_type == device_type)
+            .count()
+    }
+
+    /// Iterates over devices of one type.
+    pub fn of_type(&self, device_type: DeviceType) -> impl Iterator<Item = &DeviceSpec> + '_ {
+        self.devices
+            .iter()
+            .filter(move |d| d.device_type == device_type)
+    }
+}
+
+impl<'a> IntoIterator for &'a Cluster {
+    type Item = &'a DeviceSpec;
+    type IntoIter = std::slice::Iter<'a, DeviceSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.devices.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_composition() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.len(), 40);
+        assert_eq!(c.count_of(DeviceType::Cpu), 20);
+        assert_eq!(c.count_of(DeviceType::Gtx1080Ti), 10);
+        assert_eq!(c.count_of(DeviceType::V100), 10);
+    }
+
+    #[test]
+    fn device_ids_are_dense_and_stable() {
+        let c = Cluster::with_counts(2, 1, 1);
+        let ids: Vec<u32> = c.iter().map(|d| d.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(c.device(DeviceId(2)).unwrap().device_type, DeviceType::Gtx1080Ti);
+        assert!(c.device(DeviceId(99)).is_none());
+    }
+
+    #[test]
+    fn of_type_filters() {
+        let c = Cluster::with_counts(1, 2, 3);
+        assert_eq!(c.of_type(DeviceType::V100).count(), 3);
+        assert_eq!(c.of_type(DeviceType::Cpu).count(), 1);
+    }
+
+    #[test]
+    fn gpu_memory_ordering_matches_hardware() {
+        assert!(DeviceType::V100.memory_mib() > DeviceType::Gtx1080Ti.memory_mib());
+        // CPUs have the most (host) memory but are by far the slowest.
+        assert!(DeviceType::Cpu.memory_mib() > DeviceType::V100.memory_mib());
+        assert!(DeviceType::Cpu.slowdown() > DeviceType::Gtx1080Ti.slowdown());
+        assert!(DeviceType::Gtx1080Ti.slowdown() > DeviceType::V100.slowdown());
+    }
+
+    #[test]
+    fn batching_amortizes_better_on_faster_gpus() {
+        assert!(DeviceType::V100.batch_marginal() < DeviceType::Gtx1080Ti.batch_marginal());
+        assert!(DeviceType::Gtx1080Ti.batch_marginal() < DeviceType::Cpu.batch_marginal());
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let c = Cluster::new();
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+}

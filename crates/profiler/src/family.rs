@@ -1,0 +1,192 @@
+//! Model families (one per application / query type, §6.1.2).
+
+use std::fmt;
+
+/// The nine DNN families of Table 3.
+///
+/// The paper assumes one registered application (= query type) per family;
+/// a query of a family may be served by any variant of that family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelFamily {
+    /// ResNet image classification.
+    ResNet,
+    /// DenseNet image classification.
+    DenseNet,
+    /// ResNeSt image classification.
+    ResNest,
+    /// EfficientNet image classification.
+    EfficientNet,
+    /// MobileNet image classification.
+    MobileNet,
+    /// YOLOv5 object detection.
+    YoloV5,
+    /// BERT-family sentiment analysis.
+    Bert,
+    /// T5 translation.
+    T5,
+    /// GPT-2 question answering.
+    Gpt2,
+}
+
+impl ModelFamily {
+    /// All families in a fixed canonical order (the order of Table 3).
+    pub const ALL: [ModelFamily; 9] = [
+        ModelFamily::ResNet,
+        ModelFamily::DenseNet,
+        ModelFamily::ResNest,
+        ModelFamily::EfficientNet,
+        ModelFamily::MobileNet,
+        ModelFamily::YoloV5,
+        ModelFamily::Bert,
+        ModelFamily::T5,
+        ModelFamily::Gpt2,
+    ];
+
+    /// Number of families.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this family in [`ModelFamily::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("family is in ALL by construction")
+    }
+
+    /// The inverse of [`index`](Self::index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ModelFamily::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Whether this is a transformer-based NLP family.
+    ///
+    /// Transformers pay an extra latency penalty on CPUs in the synthetic
+    /// latency model (poor cache behaviour of large matmuls).
+    pub fn is_transformer(self) -> bool {
+        matches!(self, ModelFamily::Bert | ModelFamily::T5 | ModelFamily::Gpt2)
+    }
+
+    /// The inference task (the "application" the paper registers).
+    pub fn task(self) -> &'static str {
+        match self {
+            ModelFamily::ResNet
+            | ModelFamily::DenseNet
+            | ModelFamily::ResNest
+            | ModelFamily::EfficientNet
+            | ModelFamily::MobileNet => "classification",
+            ModelFamily::YoloV5 => "object detection",
+            ModelFamily::Bert => "sentiment analysis",
+            ModelFamily::T5 => "translation",
+            ModelFamily::Gpt2 => "question answering",
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelFamily::ResNet => "ResNet",
+            ModelFamily::DenseNet => "DenseNet",
+            ModelFamily::ResNest => "ResNest",
+            ModelFamily::EfficientNet => "EfficientNet",
+            ModelFamily::MobileNet => "MobileNet",
+            ModelFamily::YoloV5 => "YOLOv5",
+            ModelFamily::Bert => "BERT",
+            ModelFamily::T5 => "T5",
+            ModelFamily::Gpt2 => "GPT-2",
+        }
+    }
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown family label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFamilyError {
+    label: String,
+}
+
+impl fmt::Display for ParseFamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown model family `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParseFamilyError {}
+
+impl std::str::FromStr for ModelFamily {
+    type Err = ParseFamilyError;
+
+    /// Parses the family from its [`label`](ModelFamily::label)
+    /// (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, ParseFamilyError> {
+        ModelFamily::ALL
+            .into_iter()
+            .find(|f| f.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseFamilyError {
+                label: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_nine_unique_families() {
+        assert_eq!(ModelFamily::COUNT, 9);
+        let mut sorted = ModelFamily::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, &f) in ModelFamily::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(ModelFamily::from_index(i), f);
+        }
+    }
+
+    #[test]
+    fn transformer_classification() {
+        assert!(ModelFamily::Bert.is_transformer());
+        assert!(ModelFamily::T5.is_transformer());
+        assert!(ModelFamily::Gpt2.is_transformer());
+        assert!(!ModelFamily::ResNet.is_transformer());
+        assert!(!ModelFamily::YoloV5.is_transformer());
+    }
+
+    #[test]
+    fn labels_and_tasks_are_nonempty() {
+        for f in ModelFamily::ALL {
+            assert!(!f.label().is_empty());
+            assert!(!f.task().is_empty());
+            assert_eq!(f.to_string(), f.label());
+        }
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for f in ModelFamily::ALL {
+            assert_eq!(f.label().parse::<ModelFamily>().unwrap(), f);
+            assert_eq!(
+                f.label().to_lowercase().parse::<ModelFamily>().unwrap(),
+                f,
+                "parsing is case-insensitive"
+            );
+        }
+        assert!("SqueezeNet".parse::<ModelFamily>().is_err());
+        let err = "nope".parse::<ModelFamily>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Model zoo, device catalog and performance-profile store.
+//!
+//! This crate plays the role of the *Model Profiler* and *Model Registry*
+//! substrates of the Proteus paper (§3): it knows every model family and
+//! variant of Table 3, every device type of the evaluation cluster, and can
+//! answer the question the Resource Manager keeps asking — *"what is the
+//! latency / memory / peak throughput of variant `m` on device type `d` at
+//! batch size `b`?"* — in O(1), exactly like the paper's in-memory key-value
+//! store keyed by `(model variant, device type, batch size)`.
+//!
+//! The paper profiles real ONNX models on real hardware; we substitute a
+//! synthetic but carefully shaped latency model (see [`LatencyModel`]):
+//! affine in the batch size, scaled per device type, with transformers
+//! penalized on CPUs. Every scheduler in `proteus-core` observes models
+//! *only* through this store, so the decision space it explores is the same
+//! one the paper's schedulers explore.
+//!
+//! # Examples
+//!
+//! ```
+//! use proteus_profiler::{DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy};
+//!
+//! let zoo = ModelZoo::paper_table3();
+//! let store = ProfileStore::build(&zoo, SloPolicy::default());
+//! let effb0 = zoo.variants_of(ModelFamily::EfficientNet).next().unwrap();
+//! let profile = store.profile(effb0.id(), DeviceType::V100).unwrap();
+//! assert!(profile.latency(1) < profile.latency(8));
+//! ```
+
+mod device;
+mod family;
+mod latency;
+mod store;
+mod variant;
+mod zoo;
+
+pub use device::{Cluster, DeviceId, DeviceSpec, DeviceType};
+pub use family::ModelFamily;
+pub use latency::LatencyModel;
+pub use store::{Profile, ProfileStore, SloPolicy, MAX_BATCH};
+pub use variant::{VariantId, VariantSpec};
+pub use zoo::ModelZoo;

@@ -1,0 +1,204 @@
+//! Model variants: the units of accuracy scaling.
+
+use std::fmt;
+
+use crate::ModelFamily;
+
+/// Identifier of a model variant: its family plus a dense per-family index
+/// ordered from least to most accurate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariantId {
+    /// The family (query type) this variant serves.
+    pub family: ModelFamily,
+    /// Dense per-family index, `0` = least accurate variant.
+    pub index: u8,
+}
+
+impl fmt::Display for VariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.family, self.index)
+    }
+}
+
+/// Static description of one model variant.
+///
+/// All quantities a scheduler can observe about a model live here:
+/// the normalized accuracy (§6.1.2 normalizes by the most accurate variant
+/// of the family, yielding 80–100 %), the reference latency on a V100 at
+/// batch 1, the marginal per-item latency, and the memory footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSpec {
+    id: VariantId,
+    name: &'static str,
+    accuracy: f64,
+    reference_latency_ms: f64,
+    memory_mib: f64,
+    memory_per_item_mib: f64,
+}
+
+impl VariantSpec {
+    /// Creates a variant spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is outside `(0, 1]` or any latency/memory figure
+    /// is non-positive — profiles with nonsensical numbers would silently
+    /// corrupt every scheduling decision downstream.
+    pub fn new(
+        id: VariantId,
+        name: &'static str,
+        accuracy: f64,
+        reference_latency_ms: f64,
+        memory_mib: f64,
+        memory_per_item_mib: f64,
+    ) -> Self {
+        assert!(
+            accuracy > 0.0 && accuracy <= 1.0,
+            "normalized accuracy must be in (0, 1], got {accuracy} for {name}"
+        );
+        assert!(
+            reference_latency_ms > 0.0,
+            "reference latency must be positive, got {reference_latency_ms} for {name}"
+        );
+        assert!(
+            memory_mib > 0.0 && memory_per_item_mib >= 0.0,
+            "memory figures must be positive, got {memory_mib}/{memory_per_item_mib} for {name}"
+        );
+        Self {
+            id,
+            name,
+            accuracy,
+            reference_latency_ms,
+            memory_mib,
+            memory_per_item_mib,
+        }
+    }
+
+    /// The variant's identifier.
+    pub fn id(&self) -> VariantId {
+        self.id
+    }
+
+    /// The family this variant belongs to.
+    pub fn family(&self) -> ModelFamily {
+        self.id.family
+    }
+
+    /// Human-readable variant name (e.g. `"EfficientNet-b3"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Normalized accuracy in `(0, 1]`; the most accurate variant of each
+    /// family has accuracy `1.0` (§6.1.2).
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Batch-1 inference latency on the reference device (V100), in ms.
+    pub fn reference_latency_ms(&self) -> f64 {
+        self.reference_latency_ms
+    }
+
+    /// Resident memory of the loaded model, in MiB.
+    pub fn memory_mib(&self) -> f64 {
+        self.memory_mib
+    }
+
+    /// Extra activation memory per additional batched item, in MiB.
+    pub fn memory_per_item_mib(&self) -> f64 {
+        self.memory_per_item_mib
+    }
+
+    /// Total memory needed to run a batch of `batch` items, in MiB.
+    pub fn memory_at_batch(&self, batch: u32) -> f64 {
+        self.memory_mib + self.memory_per_item_mib * batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> VariantSpec {
+        VariantSpec::new(
+            VariantId {
+                family: ModelFamily::ResNet,
+                index: 0,
+            },
+            "ResNet-18",
+            0.85,
+            3.0,
+            90.0,
+            8.0,
+        )
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = spec();
+        assert_eq!(s.name(), "ResNet-18");
+        assert_eq!(s.family(), ModelFamily::ResNet);
+        assert_eq!(s.accuracy(), 0.85);
+        assert_eq!(s.reference_latency_ms(), 3.0);
+        assert_eq!(s.memory_mib(), 90.0);
+        assert_eq!(s.id().to_string(), "ResNet#0");
+    }
+
+    #[test]
+    fn batch_memory_is_affine() {
+        let s = spec();
+        assert_eq!(s.memory_at_batch(1), 98.0);
+        assert_eq!(s.memory_at_batch(10), 170.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy")]
+    fn rejects_zero_accuracy() {
+        VariantSpec::new(
+            VariantId {
+                family: ModelFamily::ResNet,
+                index: 0,
+            },
+            "bad",
+            0.0,
+            3.0,
+            90.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn rejects_negative_latency() {
+        VariantSpec::new(
+            VariantId {
+                family: ModelFamily::ResNet,
+                index: 0,
+            },
+            "bad",
+            0.9,
+            -1.0,
+            90.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    fn variant_ids_order_by_family_then_index() {
+        let a = VariantId {
+            family: ModelFamily::ResNet,
+            index: 1,
+        };
+        let b = VariantId {
+            family: ModelFamily::ResNet,
+            index: 2,
+        };
+        let c = VariantId {
+            family: ModelFamily::DenseNet,
+            index: 0,
+        };
+        assert!(a < b);
+        assert!(b < c); // ResNet precedes DenseNet in ALL order
+    }
+}

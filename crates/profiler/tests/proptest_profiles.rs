@@ -1,0 +1,81 @@
+//! Property-based tests of the profile store over the whole zoo and over
+//! randomized SLO multipliers.
+
+use proptest::prelude::*;
+use proteus_profiler::{DeviceType, ModelZoo, ProfileStore, SloPolicy, MAX_BATCH};
+
+proptest! {
+    /// For any SLO multiplier, every profile obeys its invariants: latency
+    /// affine and increasing, max batch within the SLO/2 budget and memory,
+    /// peak throughput consistent with `max_batch / latency(max_batch)`.
+    #[test]
+    fn profiles_are_internally_consistent(multiplier in 0.5f64..6.0) {
+        let zoo = ModelZoo::paper_table3();
+        let store = ProfileStore::build(&zoo, SloPolicy::with_multiplier(multiplier));
+        for variant in zoo.iter() {
+            let slo = store.slo_ms(variant.family());
+            prop_assert!(slo > 0.0);
+            for device in DeviceType::ALL {
+                let p = store.profile(variant.id(), device).unwrap();
+                // Latency strictly increasing in batch.
+                let mut prev = 0.0;
+                for b in 1..=MAX_BATCH {
+                    let l = p.latency(b);
+                    prop_assert!(l > prev);
+                    prev = l;
+                }
+                if p.is_feasible() {
+                    prop_assert!(p.latency(p.max_batch()) <= slo / 2.0 + 1e-9);
+                    prop_assert!(
+                        variant.memory_at_batch(p.max_batch()) <= device.memory_mib() + 1e-9
+                    );
+                    let expected = p.max_batch() as f64 / (p.latency(p.max_batch()) / 1e3);
+                    prop_assert!((p.peak_qps() - expected).abs() < 1e-6);
+                } else {
+                    prop_assert_eq!(p.peak_qps(), 0.0);
+                }
+            }
+        }
+    }
+
+    /// SLOs scale exactly linearly with the multiplier.
+    #[test]
+    fn slos_scale_linearly(a in 0.5f64..3.0, factor in 1.1f64..3.0) {
+        let zoo = ModelZoo::paper_table3();
+        let lo = ProfileStore::build(&zoo, SloPolicy::with_multiplier(a));
+        let hi = ProfileStore::build(&zoo, SloPolicy::with_multiplier(a * factor));
+        for family in zoo.families() {
+            let ratio = hi.slo_ms(family) / lo.slo_ms(family);
+            prop_assert!((ratio - factor).abs() < 1e-9);
+        }
+    }
+}
+
+/// Within a family on a fixed device, accuracy trades off against peak
+/// throughput (Fig. 1a): the least accurate variant is the (equal) fastest
+/// to serve, the most accurate the slowest. Individual inversions in the
+/// middle are allowed — real zoos contain them (RoBERTa-base outruns
+/// ALBERT-large at higher accuracy) and the MILP simply never selects the
+/// dominated model.
+#[test]
+fn accuracy_throughput_tradeoff_brackets_each_family() {
+    let zoo = ModelZoo::paper_table3();
+    let store = ProfileStore::build(&zoo, SloPolicy::default());
+    for family in zoo.families() {
+        let peaks: Vec<f64> = zoo
+            .variants_of(family)
+            .map(|v| store.peak_qps(v.id(), DeviceType::V100))
+            .collect();
+        let max = peaks.iter().copied().fold(0.0, f64::max);
+        let min = peaks.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            (peaks[0] - max).abs() < 1e-9,
+            "{family}: least accurate variant must have the highest peak: {peaks:?}"
+        );
+        assert!(
+            (peaks[peaks.len() - 1] - min).abs() < 1e-9,
+            "{family}: most accurate variant must have the lowest peak: {peaks:?}"
+        );
+        assert!(max > min, "{family}: the trade-off must be non-degenerate");
+    }
+}

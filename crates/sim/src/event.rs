@@ -1,0 +1,244 @@
+//! A cancellable, FIFO-stable priority queue of timed events.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Keys are unique per [`EventQueue`] for the lifetime of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-priority queue of `(SimTime, event)` pairs with stable FIFO ordering
+/// for equal timestamps and O(log n) lazy cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// let key = q.push(SimTime::from_secs(1), "sooner");
+/// q.cancel(key);
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Keys still in the heap that have not been cancelled.
+    live: HashSet<u64>,
+    /// Keys still in the heap that were cancelled (skipped lazily on pop).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Returns the number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns `true` if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `event` with timestamp `at`, returning a cancellation key.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.live.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels the event identified by `key`.
+    ///
+    /// Returns `true` if the event was pending, `false` if it already popped
+    /// or was already cancelled. Cancellation is lazy: the entry is skipped
+    /// when it reaches the head of the heap.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the timestamp of the earliest live event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // The head may be cancelled; fall back to scanning. Cancellations are
+        // rare (only retracted batch timers), so the common path is O(1).
+        let head = self.heap.peek()?;
+        if !self.cancelled.contains(&head.seq) {
+            return Some(head.at);
+        }
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .map(|e| e.at)
+            .min()
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.live.remove(&entry.seq);
+        Some((entry.at, entry.event))
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap.
+    fn skim(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 'c');
+        q.push(t(1), 'a');
+        q.push(t(3), 'b');
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        assert_eq!(q.pop(), Some((t(3), 'b')));
+        assert_eq!(q.pop(), Some((t(5), 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(t(1), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t(1), i)));
+        }
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((t(2), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), 2)));
+    }
+
+    #[test]
+    fn peek_time_scans_past_multiple_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        let b = q.push(t(2), 2);
+        q.push(t(3), 3);
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(t(3)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        assert_eq!(q.pop(), Some((t(1), 1)));
+        assert!(!q.cancel(a), "cancelling an already-popped key must fail");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(2), 2);
+        assert_eq!(q.pop(), Some((t(2), 2)));
+        q.push(t(4), 4);
+        q.push(t(1), 1); // earlier than a previous pop is allowed at queue level
+        assert_eq!(q.pop(), Some((t(1), 1)));
+        assert_eq!(q.pop(), Some((t(4), 4)));
+        assert_eq!(q.pop(), Some((t(10), 10)));
+    }
+}

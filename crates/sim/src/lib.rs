@@ -1,0 +1,315 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the execution substrate for the Proteus reproduction: the
+//! paper evaluates its system both on a physical cluster and on an
+//! event-driven simulator (§6.1.5), and shows the two match within a
+//! fraction of a percent. Everything in this workspace runs on top of this
+//! engine.
+//!
+//! The engine is intentionally minimal and fully deterministic:
+//!
+//! * [`SimTime`] is an integer-nanosecond timestamp, so there is no floating
+//!   point drift and no platform-dependent ordering.
+//! * [`EventQueue`] breaks ties between events scheduled for the same instant
+//!   by insertion order, so a given seed always yields the same run.
+//! * [`Simulation`] drives a user-supplied [`Actor`] until the queue drains
+//!   or a horizon is reached.
+//!
+//! # Examples
+//!
+//! ```
+//! use proteus_sim::{Actor, SimTime, Simulation};
+//!
+//! struct Counter {
+//!     fired: u32,
+//! }
+//!
+//! impl Actor for Counter {
+//!     type Event = &'static str;
+//!
+//!     fn handle(&mut self, now: SimTime, event: &'static str, sim: &mut Simulation<Self::Event>) {
+//!         self.fired += 1;
+//!         if event == "tick" && self.fired < 3 {
+//!             sim.schedule(now + SimTime::from_secs_f64(1.0), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule(SimTime::ZERO, "tick");
+//! let mut counter = Counter { fired: 0 };
+//! sim.run(&mut counter);
+//! assert_eq!(counter.fired, 3);
+//! ```
+
+mod event;
+mod time;
+
+pub use event::{EventKey, EventQueue};
+pub use time::SimTime;
+
+/// A simulation participant: receives events in timestamp order.
+///
+/// The actor is handed a mutable reference to the [`Simulation`] so it can
+/// schedule (or cancel) further events while handling the current one.
+pub trait Actor {
+    /// The event payload type routed through the simulation.
+    type Event;
+
+    /// Handles one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sim: &mut Simulation<Self::Event>);
+}
+
+/// The simulation driver: a clock plus a pending-event queue.
+///
+/// Events are delivered in nondecreasing timestamp order; ties are broken by
+/// scheduling order (FIFO). See the [crate-level documentation](crate) for a
+/// complete example.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation whose clock starts at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    ///
+    /// While [`run`](Self::run) is delivering an event this is the event's
+    /// timestamp; after a run it is the timestamp of the last delivered
+    /// event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Returns the number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Returns a key that can be passed to [`cancel`](Self::cancel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock: the simulated past
+    /// is immutable.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event at {at:?} in the past (now = {:?})",
+            self.now
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending and is now removed;
+    /// `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Returns the timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run<A>(&mut self, actor: &mut A)
+    where
+        A: Actor<Event = E> + ?Sized,
+    {
+        self.run_until(SimTime::MAX, actor);
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon` (events at exactly `horizon` are delivered).
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run_until<A>(&mut self, horizon: SimTime, actor: &mut A) -> u64
+    where
+        A: Actor<Event = E> + ?Sized,
+    {
+        let before = self.delivered;
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(at >= self.now, "event queue must be monotone");
+            self.now = at;
+            self.delivered += 1;
+            actor.handle(at, event, self);
+        }
+        self.delivered - before
+    }
+
+    /// Delivers exactly one event, if one is pending.
+    ///
+    /// Returns the delivered event's timestamp, or `None` if the queue was
+    /// empty. Useful for lock-step tests.
+    pub fn step<A>(&mut self, actor: &mut A) -> Option<SimTime>
+    where
+        A: Actor<Event = E> + ?Sized,
+    {
+        let (at, event) = self.queue.pop()?;
+        self.now = at;
+        self.delivered += 1;
+        actor.handle(at, event, self);
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl Actor for Recorder {
+        type Event = u32;
+
+        fn handle(&mut self, now: SimTime, event: u32, _sim: &mut Simulation<u32>) {
+            self.seen.push((now, event));
+        }
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.schedule(secs(3.0), 3);
+        sim.schedule(secs(1.0), 1);
+        sim.schedule(secs(2.0), 2);
+        let mut rec = Recorder { seen: vec![] };
+        sim.run(&mut rec);
+        assert_eq!(rec.seen, vec![(secs(1.0), 1), (secs(2.0), 2), (secs(3.0), 3)]);
+        assert_eq!(sim.delivered(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Simulation::new();
+        for i in 0..100 {
+            sim.schedule(secs(1.0), i);
+        }
+        let mut rec = Recorder { seen: vec![] };
+        sim.run(&mut rec);
+        let order: Vec<u32> = rec.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new();
+        sim.schedule(secs(1.0), 1);
+        sim.schedule(secs(2.0), 2);
+        sim.schedule(secs(3.0), 3);
+        let mut rec = Recorder { seen: vec![] };
+        let n = sim.run_until(secs(2.0), &mut rec);
+        assert_eq!(n, 2);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), secs(2.0));
+        // The remaining event is still deliverable afterwards.
+        let n = sim.run_until(secs(10.0), &mut rec);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new();
+        let _k1 = sim.schedule(secs(1.0), 1);
+        let k2 = sim.schedule(secs(2.0), 2);
+        sim.schedule(secs(3.0), 3);
+        assert!(sim.cancel(k2));
+        assert!(!sim.cancel(k2), "double cancel must report false");
+        let mut rec = Recorder { seen: vec![] };
+        sim.run(&mut rec);
+        let order: Vec<u32> = rec.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn actors_can_schedule_during_handling() {
+        struct Chain {
+            hops: u32,
+        }
+        impl Actor for Chain {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, event: u32, sim: &mut Simulation<u32>) {
+                self.hops += 1;
+                if event > 0 {
+                    sim.schedule(now + secs(0.5), event - 1);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, 4);
+        let mut chain = Chain { hops: 0 };
+        sim.run(&mut chain);
+        assert_eq!(chain.hops, 5);
+        assert_eq!(sim.now(), secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Actor for Bad {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, _event: u32, sim: &mut Simulation<u32>) {
+                sim.schedule(now - secs(0.5), 0);
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.schedule(secs(1.0), 0);
+        sim.run(&mut Bad);
+    }
+
+    #[test]
+    fn step_delivers_one_event() {
+        let mut sim = Simulation::new();
+        sim.schedule(secs(1.0), 1);
+        sim.schedule(secs(2.0), 2);
+        let mut rec = Recorder { seen: vec![] };
+        assert_eq!(sim.step(&mut rec), Some(secs(1.0)));
+        assert_eq!(rec.seen.len(), 1);
+        assert_eq!(sim.step(&mut rec), Some(secs(2.0)));
+        assert_eq!(sim.step(&mut rec), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let sim: Simulation<u32> = Simulation::default();
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}

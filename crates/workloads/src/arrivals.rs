@@ -1,0 +1,176 @@
+//! Micro-scale arrival processes (Fig. 6's uniform / Poisson / Gamma traces).
+
+use proteus_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+
+/// The inter-arrival distribution of an [`ArrivalProcess`].
+///
+/// All three kinds produce the same long-run rate; they differ only in
+/// burstiness, which is exactly the variable Fig. 6 isolates when comparing
+/// batching policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Evenly spaced arrivals: gap = 1/rate exactly.
+    Uniform,
+    /// Poisson process: exponential gaps.
+    Poisson,
+    /// Gamma-distributed gaps with the given shape (scale chosen so the mean
+    /// gap stays 1/rate). Shapes ≪ 1 create heavy micro-bursts; the paper
+    /// uses 0.05.
+    Gamma {
+        /// Gamma shape parameter.
+        shape: f64,
+    },
+}
+
+/// An infinite stream of arrival timestamps at a fixed average rate.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_workloads::{ArrivalKind, ArrivalProcess};
+///
+/// let mut p = ArrivalProcess::new(ArrivalKind::Uniform, 10.0, 0);
+/// let first = p.next_arrival();
+/// let second = p.next_arrival();
+/// assert_eq!((second - first).as_millis_f64(), 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    rate: f64,
+    rng: StdRng,
+    clock: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates a process with `rate` arrivals per second on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive, or if a Gamma shape is not
+    /// strictly positive.
+    pub fn new(kind: ArrivalKind, rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive, got {rate}");
+        if let ArrivalKind::Gamma { shape } = kind {
+            assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+        }
+        Self {
+            kind,
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0.0,
+        }
+    }
+
+    /// The configured average rate in arrivals per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Advances to and returns the next arrival timestamp.
+    pub fn next_arrival(&mut self) -> SimTime {
+        let gap = match self.kind {
+            ArrivalKind::Uniform => 1.0 / self.rate,
+            ArrivalKind::Poisson => dist::exponential(&mut self.rng, self.rate),
+            ArrivalKind::Gamma { shape } => {
+                // Mean gap must be 1/rate = shape · scale.
+                dist::gamma(&mut self.rng, shape, 1.0 / (shape * self.rate))
+            }
+        };
+        self.clock += gap;
+        SimTime::from_secs_f64(self.clock)
+    }
+
+    /// Collects every arrival with timestamp strictly less than `secs`.
+    pub fn take_for_secs(&mut self, secs: f64) -> Vec<SimTime> {
+        let horizon = SimTime::from_secs_f64(secs);
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate_of(kind: ArrivalKind, secs: f64) -> f64 {
+        let mut p = ArrivalProcess::new(kind, 200.0, 99);
+        p.take_for_secs(secs).len() as f64 / secs
+    }
+
+    #[test]
+    fn all_kinds_hit_the_target_rate() {
+        for kind in [
+            ArrivalKind::Uniform,
+            ArrivalKind::Poisson,
+            ArrivalKind::Gamma { shape: 0.05 },
+        ] {
+            let r = rate_of(kind, 60.0);
+            assert!((r - 200.0).abs() < 12.0, "{kind:?} observed rate {r}");
+        }
+    }
+
+    #[test]
+    fn uniform_gaps_are_constant() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Uniform, 50.0, 1);
+        let times = p.take_for_secs(2.0);
+        for w in times.windows(2) {
+            assert_eq!((w[1] - w[0]).as_millis_f64(), 20.0);
+        }
+    }
+
+    #[test]
+    fn gamma_is_burstier_than_poisson_is_burstier_than_uniform() {
+        // Burstiness measured as the coefficient of variation of gaps.
+        let cv = |kind: ArrivalKind| {
+            let mut p = ArrivalProcess::new(kind, 100.0, 3);
+            let times = p.take_for_secs(120.0);
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let u = cv(ArrivalKind::Uniform);
+        let p = cv(ArrivalKind::Poisson);
+        let g = cv(ArrivalKind::Gamma { shape: 0.05 });
+        assert!(u < 0.01, "uniform cv {u}");
+        assert!((p - 1.0).abs() < 0.1, "poisson cv {p}");
+        assert!(g > 2.5, "gamma cv {g}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Poisson, 1000.0, 5);
+        let times = p.take_for_secs(5.0);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
+        let b = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::new(ArrivalKind::Poisson, 0.0, 0);
+    }
+}

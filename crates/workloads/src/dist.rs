@@ -1,0 +1,327 @@
+//! From-scratch distribution samplers over `rand`'s uniform source.
+//!
+//! Only a uniform `f64` source is assumed; everything else — exponential,
+//! normal (Box–Muller), Gamma (Marsaglia–Tsang), Zipf and Poisson counts —
+//! is derived here. This keeps the workspace free of `rand_distr` while
+//! still exercising the exact distributions the paper uses.
+
+use rand::Rng;
+
+/// Samples `Exp(rate)`: the inter-arrival time of a Poisson process.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = proteus_workloads::dist::exponential(&mut rng, 4.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    // Inverse CDF on (0, 1]; `1 - U` avoids ln(0).
+    let u: f64 = rng.random::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Resample u1 = 0 (probability ~2^-53) to keep ln finite.
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `Normal(mean, std_dev)`.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples `Gamma(shape, scale)` with the Marsaglia–Tsang method.
+///
+/// Shapes below one are handled with the standard boosting identity
+/// `Gamma(a) = Gamma(a + 1) · U^(1/a)`. The paper's micro-burst trace uses
+/// shape 0.05 (§6.4), deep inside that regime.
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not strictly positive.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    assert!(scale > 0.0, "gamma scale must be positive, got {scale}");
+    if shape < 1.0 {
+        let boost = {
+            let mut u: f64 = rng.random();
+            while u <= f64::MIN_POSITIVE {
+                u = rng.random();
+            }
+            u.powf(1.0 / shape)
+        };
+        return boost * gamma(rng, shape + 1.0, scale);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        // Squeeze check, then full acceptance check.
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Samples a Poisson count with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// (with continuity correction, clamped at zero) for large ones, which is
+/// plenty for per-second arrival counts.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson mean must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// A Zipf(α) distribution over ranks `1..=n`.
+///
+/// The paper splits query demand across model families with α = 1.001
+/// (§6.1.3). Sampling and the exact probability mass are both exposed; the
+/// trace generator uses [`Zipf::mass`] to split aggregate QPS
+/// deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_workloads::dist::Zipf;
+///
+/// let zipf = Zipf::new(9, 1.001);
+/// let total: f64 = (1..=9).map(|r| zipf.mass(r)).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// assert!(zipf.mass(1) > zipf.mass(9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: usize,
+    alpha: f64,
+    norm: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(alpha >= 0.0, "zipf exponent must be non-negative");
+        let norm: f64 = (1..=n).map(|r| (r as f64).powf(-alpha)).sum();
+        Self { n, alpha, norm }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Probability mass of rank `rank` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or exceeds the number of ranks.
+    pub fn mass(&self, rank: usize) -> f64 {
+        assert!(
+            (1..=self.n).contains(&rank),
+            "rank {rank} out of range 1..={}",
+            self.n
+        );
+        (rank as f64).powf(-self.alpha) / self.norm
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut u: f64 = rng.random();
+        for rank in 1..=self.n {
+            u -= self.mass(rank);
+            if u <= 0.0 {
+                return rank;
+            }
+        }
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..200_000).map(|_| exponential(&mut r, 5.0)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 0.2).abs() < 0.005, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..200_000).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_large_shape() {
+        let mut r = rng();
+        let (shape, scale) = (4.0, 0.5);
+        let samples: Vec<f64> = (0..200_000).map(|_| gamma(&mut r, shape, scale)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - shape * scale).abs() < 0.02, "mean {mean}");
+        assert!((var - shape * scale * scale).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_tiny_shape() {
+        // The paper's micro-burst regime: shape 0.05. Mean = shape·scale.
+        let mut r = rng();
+        let (shape, scale) = (0.05, 20.0);
+        let samples: Vec<f64> = (0..400_000).map(|_| gamma(&mut r, shape, scale)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        // Tiny shapes are extremely bursty: most samples are near zero.
+        let near_zero = samples.iter().filter(|&&x| x < 1e-3).count() as f64;
+        assert!(near_zero / samples.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 80.0] {
+            let samples: Vec<f64> = (0..100_000)
+                .map(|_| poisson_count(&mut r, lambda) as f64)
+                .collect();
+            let (mean, var) = mean_and_var(&samples);
+            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "λ={lambda} mean {mean}");
+            assert!((var - lambda).abs() < 0.08 * lambda.max(1.0), "λ={lambda} var {var}");
+        }
+        assert_eq!(poisson_count(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_mass_sums_to_one_and_is_monotone() {
+        let zipf = Zipf::new(9, 1.001);
+        let masses: Vec<f64> = (1..=9).map(|r| zipf.mass(r)).collect();
+        assert!((masses.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for w in masses.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_mass() {
+        let zipf = Zipf::new(5, 1.2);
+        let mut r = rng();
+        let mut counts = [0u32; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[zipf.sample(&mut r) - 1] += 1;
+        }
+        for rank in 1..=5 {
+            let empirical = counts[rank - 1] as f64 / n as f64;
+            assert!(
+                (empirical - zipf.mass(rank)).abs() < 0.01,
+                "rank {rank}: {empirical} vs {}",
+                zipf.mass(rank)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        for r in 1..=4 {
+            assert!((zipf.mass(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zipf_mass_rejects_rank_zero() {
+        Zipf::new(3, 1.0).mass(0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| gamma(&mut r, 0.05, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..10).map(|_| gamma(&mut r, 0.05, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Arrival processes, distribution samplers and workload trace generators.
+//!
+//! The Proteus paper drives its evaluation with two kinds of workloads
+//! (§6.1.3):
+//!
+//! * a **real-world Twitter trace** — per-second aggregate demand with
+//!   diurnal patterns and spikes, sped up by a constant factor, split across
+//!   model families by a Zipf(α = 1.001) distribution, with Poisson
+//!   inter-arrivals inside each second; and
+//! * **synthetic traces** — macro-scale bursty demand (Fig. 5) and
+//!   micro-scale bursty inter-arrivals drawn from uniform / Poisson /
+//!   Gamma(shape 0.05) processes (Fig. 6).
+//!
+//! The Twitter trace is not redistributable, so [`DiurnalTrace`] synthesizes
+//! a demand curve with the same statistical properties the paper relies on
+//! (diurnality, spikes, Poisson intra-second arrivals, Zipf family split);
+//! everything is deterministic given a seed.
+//!
+//! The distribution samplers ([`dist`]) are implemented from scratch on top
+//! of `rand`'s uniform source — Box–Muller for normals, Marsaglia–Tsang for
+//! Gamma — so the workspace needs no extra dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use proteus_workloads::{ArrivalKind, ArrivalProcess};
+//!
+//! // 100 QPS of heavily bursty arrivals (Fig. 6's Gamma trace).
+//! let mut arrivals = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 42);
+//! let times = arrivals.take_for_secs(10.0);
+//! let mean_gap = 10.0 / times.len() as f64;
+//! assert!((mean_gap - 0.01).abs() < 0.005);
+//! ```
+
+pub mod dist;
+pub mod io;
+
+mod arrivals;
+mod trace;
+
+pub use arrivals::{ArrivalKind, ArrivalProcess};
+pub use trace::{BurstyTrace, DemandTrace, DiurnalTrace, FlatTrace, QueryArrival, TraceBuilder};

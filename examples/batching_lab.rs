@@ -1,0 +1,74 @@
+//! Batching lab: isolate the adaptive batching policies on identical
+//! micro-bursty arrivals (the Fig. 6 experiment, interactive form).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example batching_lab
+//! ```
+
+use proteus::core::batching::{AimdBatching, BatchPolicy, NexusBatching, ProteusBatching};
+use proteus::core::schedulers::ProteusAllocator;
+use proteus::core::system::{ServingSystem, SystemConfig};
+use proteus::metrics::report::{fmt_f, TextTable};
+use proteus::profiler::ModelFamily;
+use proteus::sim::SimTime;
+use proteus::workloads::{ArrivalKind, ArrivalProcess, QueryArrival};
+
+/// Builds a single-family arrival stream with the given inter-arrival law.
+fn arrivals(kind: ArrivalKind, qps: f64, secs: f64, seed: u64) -> Vec<QueryArrival> {
+    ArrivalProcess::new(kind, qps, seed)
+        .take_for_secs(secs)
+        .into_iter()
+        .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
+        .collect()
+}
+
+fn main() {
+    let mut config = SystemConfig::small();
+    // Freeze the allocation: batching is the only variable under study.
+    config.realloc_period_secs = 1e9;
+    config.provision_demand = Some({
+        let mut d = proteus::core::FamilyMap::default();
+        d[ModelFamily::EfficientNet] = 320.0;
+        d
+    });
+
+    let policies: Vec<Box<dyn BatchPolicy>> = vec![
+        Box::new(ProteusBatching),
+        Box::new(NexusBatching),
+        Box::new(AimdBatching::default()),
+    ];
+
+    let kinds = [
+        ("uniform", ArrivalKind::Uniform),
+        ("poisson", ArrivalKind::Poisson),
+        ("gamma(0.05)", ArrivalKind::Gamma { shape: 0.05 }),
+    ];
+
+    let mut table = TextTable::new(vec!["policy", "arrivals", "SLO violation ratio"]);
+    for policy in &policies {
+        for (label, kind) in kinds {
+            let stream = arrivals(kind, 300.0, 60.0, 99);
+            let mut system = ServingSystem::new(
+                config.clone(),
+                Box::new(ProteusAllocator::default()),
+                policy.clone(),
+            );
+            let summary = system.run(&stream).metrics.summary();
+            table.row(vec![
+                policy.name().to_string(),
+                label.to_string(),
+                fmt_f(summary.slo_violation_ratio, 4),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\nAll three policies cope with uniform arrivals; under Poisson and\n\
+         especially Gamma micro-bursts, the non-work-conserving Proteus\n\
+         policy (which waits up to T_max_wait = T_exp(1) - T_process(q+1)\n\
+         before firing a batch) keeps the violation ratio lowest."
+    );
+    let _ = SimTime::ZERO;
+}

@@ -1,0 +1,72 @@
+//! Burst response: watch the control path react to a sudden demand plateau
+//! (the Fig. 5 experiment, narrated).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example burst_response
+//! ```
+
+use proteus::core::batching::ProteusBatching;
+use proteus::core::schedulers::ProteusAllocator;
+use proteus::core::system::{ServingSystem, SystemConfig};
+use proteus::metrics::report::sparkline;
+use proteus::workloads::{BurstyTrace, TraceBuilder};
+
+fn main() {
+    let mut config = SystemConfig::paper_testbed();
+    // React faster than the 30 s default so the burst response is visible
+    // in a short example.
+    config.realloc_period_secs = 15.0;
+
+    let trace = BurstyTrace {
+        low_qps: 120.0,
+        high_qps: 700.0,
+        burst_start: 120,
+        burst_end: 240,
+        secs: 360,
+    };
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(3)
+        .build(&trace);
+    println!(
+        "trace: {:.0} QPS with a burst to {:.0} QPS between t=120 s and t=240 s",
+        trace.low_qps, trace.high_qps
+    );
+
+    let mut system = ServingSystem::new(
+        config,
+        Box::new(ProteusAllocator::default()),
+        Box::new(ProteusBatching),
+    );
+    let outcome = system.run(&arrivals);
+
+    let ts = outcome.metrics.timeseries();
+    let served: Vec<f64> = ts.iter().map(|b| b.served() as f64).collect();
+    let violations: Vec<f64> = ts.iter().map(|b| b.violations() as f64).collect();
+    let accuracy: Vec<f64> = ts
+        .iter()
+        .map(|b| b.effective_accuracy().unwrap_or(1.0))
+        .collect();
+
+    println!("\nthroughput: {}", sparkline(&served));
+    println!("violations: {}", sparkline(&violations));
+    println!("accuracy:   {}", sparkline(&accuracy));
+
+    let summary = outcome.metrics.summary();
+    println!(
+        "\n{} re-allocations ({} burst-triggered); {} plans required demand shrinking",
+        outcome.reallocations, outcome.burst_reallocations, outcome.shrunk_plans
+    );
+    println!(
+        "SLO violation ratio {:.4}; max accuracy drop {:.2} %",
+        summary.slo_violation_ratio,
+        summary.max_accuracy_drop_pct()
+    );
+    println!(
+        "\nThe violation spike sits at the burst edge: the monitoring daemon\n\
+         detects the overshoot, triggers an immediate re-allocation, and the\n\
+         system absorbs the rest of the burst at reduced accuracy (then\n\
+         recovers once the burst ends) — the Fig. 5 behaviour."
+    );
+}

@@ -1,0 +1,83 @@
+//! Quickstart: register the paper's applications, serve a short diurnal
+//! trace with Proteus, and print the headline metrics.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use proteus::core::batching::ProteusBatching;
+use proteus::core::schedulers::ProteusAllocator;
+use proteus::core::system::{ServingSystem, SystemConfig};
+use proteus::metrics::report::{fmt_f, sparkline, TextTable};
+use proteus::workloads::{DemandTrace, DiurnalTrace, TraceBuilder};
+
+fn main() {
+    // The paper's testbed: 20 CPUs, 10 GTX 1080 Ti, 10 V100, all 51 model
+    // variants of Table 3 registered, SLO = 2x the fastest CPU latency.
+    let config = SystemConfig::paper_testbed();
+
+    // A 6-minute diurnal workload peaking at 600 QPS, Zipf-split across the
+    // nine applications.
+    let trace = DiurnalTrace::paper_like(6 * 60, 120.0, 600.0, 42);
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(42)
+        .build(&trace);
+    println!(
+        "trace: {} queries over {} s (peak {:.0} QPS)",
+        arrivals.len(),
+        trace.duration_secs(),
+        trace.peak_qps()
+    );
+
+    // Proteus = MILP resource management + proactive non-work-conserving
+    // adaptive batching.
+    let mut system = ServingSystem::new(
+        config,
+        Box::new(ProteusAllocator::default()),
+        Box::new(ProteusBatching),
+    );
+    let outcome = system.run(&arrivals);
+    let summary = outcome.metrics.summary();
+
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    table.row(vec!["queries arrived".into(), summary.total_arrived.to_string()]);
+    table.row(vec!["queries served".into(), summary.total_served.to_string()]);
+    table.row(vec![
+        "avg throughput (QPS)".into(),
+        fmt_f(summary.avg_throughput_qps, 1),
+    ]);
+    table.row(vec![
+        "effective accuracy (%)".into(),
+        fmt_f(summary.effective_accuracy_pct(), 2),
+    ]);
+    table.row(vec![
+        "max accuracy drop (%)".into(),
+        fmt_f(summary.max_accuracy_drop_pct(), 2),
+    ]);
+    table.row(vec![
+        "SLO violation ratio".into(),
+        fmt_f(summary.slo_violation_ratio, 4),
+    ]);
+    table.row(vec![
+        "re-allocations".into(),
+        outcome.reallocations.to_string(),
+    ]);
+    print!("{}", table.render());
+
+    let served: Vec<f64> = outcome
+        .metrics
+        .timeseries()
+        .iter()
+        .map(|b| b.served() as f64)
+        .collect();
+    println!("\nthroughput over time: {}", sparkline(&served));
+    let acc: Vec<f64> = outcome
+        .metrics
+        .timeseries()
+        .iter()
+        .filter_map(|b| b.effective_accuracy())
+        .collect();
+    println!("accuracy over time:   {}", sparkline(&acc));
+}

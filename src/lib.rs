@@ -1,0 +1,41 @@
+//! Proteus: a high-throughput inference-serving system with accuracy
+//! scaling — a full Rust reproduction of the ASPLOS'24 paper.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the Proteus system: MILP resource management, adaptive
+//!   batching, schedulers and every baseline.
+//! * [`profiler`] — the Table 3 model zoo, device catalog and profile store.
+//! * [`workloads`] — arrival processes and trace generators.
+//! * [`solver`] — the from-scratch Simplex/branch-and-bound MILP solver.
+//! * [`metrics`] — run metrics and report rendering.
+//! * [`sim`] — the deterministic discrete-event engine underneath it all.
+//!
+//! # Quick start
+//!
+//! ```
+//! use proteus::core::batching::ProteusBatching;
+//! use proteus::core::schedulers::ProteusAllocator;
+//! use proteus::core::system::{ServingSystem, SystemConfig};
+//! use proteus::workloads::{FlatTrace, TraceBuilder};
+//!
+//! let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+//!     .build(&FlatTrace { qps: 100.0, secs: 10 });
+//! let mut system = ServingSystem::new(
+//!     SystemConfig::small(),
+//!     Box::new(ProteusAllocator::default()),
+//!     Box::new(ProteusBatching),
+//! );
+//! let outcome = system.run(&arrivals);
+//! println!("{:#?}", outcome.metrics.summary());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper.
+
+pub use proteus_core as core;
+pub use proteus_metrics as metrics;
+pub use proteus_profiler as profiler;
+pub use proteus_sim as sim;
+pub use proteus_solver as solver;
+pub use proteus_workloads as workloads;

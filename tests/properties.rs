@@ -1,0 +1,207 @@
+//! Property-based tests across crates: the MILP allocator, the solver and
+//! the batching policies under randomized inputs.
+
+use proptest::prelude::*;
+
+use proteus::core::allocation::milp::{solve_allocation, Formulation, MilpConfig};
+use proteus::core::batching::{
+    BatchContext, BatchDecision, BatchPolicy, NexusBatching, ProteusBatching,
+};
+use proteus::core::schedulers::AllocContext;
+use proteus::core::{FamilyMap, Query, QueryId};
+use proteus::profiler::{
+    Cluster, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy,
+};
+use proteus::sim::SimTime;
+use proteus::solver::{LinearProgram, MilpSolver, Relation};
+
+fn env() -> (Cluster, ModelZoo, ProfileStore) {
+    let zoo = ModelZoo::paper_table3();
+    let store = ProfileStore::build(&zoo, SloPolicy::default());
+    // At least one device per family so the strict (Eq. 6) formulation is
+    // structurally feasible at low demand.
+    (Cluster::with_counts(6, 3, 3), zoo, store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the demand, the MILP plan is structurally valid and its
+    /// capacity covers the (possibly shrunk) demand.
+    #[test]
+    fn milp_plans_are_valid_and_sufficient(
+        d_eff in 0.0f64..600.0,
+        d_res in 0.0f64..400.0,
+        d_bert in 0.0f64..300.0,
+        d_mob in 0.0f64..800.0,
+    ) {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store };
+        let mut demand = FamilyMap::default();
+        demand[ModelFamily::EfficientNet] = d_eff;
+        demand[ModelFamily::ResNet] = d_res;
+        demand[ModelFamily::Bert] = d_bert;
+        demand[ModelFamily::MobileNet] = d_mob;
+        let out = solve_allocation(&ctx, &demand, None, &MilpConfig::default()).unwrap();
+        prop_assert_eq!(out.plan.validate(&ctx), None);
+        if out.shrink == 1.0 {
+            // Strict path: every family's full demand is covered.
+            for family in [ModelFamily::EfficientNet, ModelFamily::ResNet,
+                           ModelFamily::Bert, ModelFamily::MobileNet] {
+                let target = demand[family].max(0.25);
+                prop_assert!(
+                    out.plan.capacity(family) >= target * 0.99,
+                    "{} capacity {} < target {}",
+                    family, out.plan.capacity(family), target
+                );
+            }
+        } else {
+            // Shrunk/soft path: the shrink factor reports offered/served.
+            let offered: f64 = proteus::profiler::ModelFamily::ALL
+                .iter()
+                .map(|&f| demand[f].max(0.25))
+                .sum();
+            let planned: f64 = proteus::profiler::ModelFamily::ALL
+                .iter()
+                .map(|&f| out.plan.capacity(f).min(demand[f].max(0.25)))
+                .sum();
+            prop_assert!(
+                planned * out.shrink >= offered * 0.98,
+                "shrink {} inconsistent: offered {offered}, planned {planned}",
+                out.shrink
+            );
+        }
+    }
+
+    /// The aggregated and per-device encodings reach the same optimum
+    /// (they are exact reformulations of each other).
+    #[test]
+    fn formulations_agree(
+        d_eff in 5.0f64..300.0,
+        d_t5 in 0.0f64..40.0,
+    ) {
+        let (cluster, zoo, store) = env();
+        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store };
+        let mut demand = FamilyMap::default();
+        demand[ModelFamily::EfficientNet] = d_eff;
+        demand[ModelFamily::T5] = d_t5;
+        let agg = solve_allocation(&ctx, &demand, None, &MilpConfig::default()).unwrap();
+        let per = solve_allocation(&ctx, &demand, None, &MilpConfig {
+            formulation: Formulation::PerDevice,
+            ..MilpConfig::default()
+        }).unwrap();
+        prop_assert!(
+            (agg.shrink - per.shrink).abs() <= 0.02 * agg.shrink,
+            "shrink diverges: {} vs {}", agg.shrink, per.shrink
+        );
+        let acc_a = agg.plan.planned_accuracy(&ctx);
+        let acc_p = per.plan.planned_accuracy(&ctx);
+        for family in [ModelFamily::EfficientNet, ModelFamily::T5] {
+            prop_assert!(
+                (acc_a[family] - acc_p[family]).abs() < 0.03,
+                "{}: {} vs {}", family, acc_a[family], acc_p[family]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random knapsack instances: the MILP optimum is feasible and no worse
+    /// than a greedy incumbent, and the LP relaxation bounds it.
+    #[test]
+    fn knapsack_optimum_bounds(
+        values in prop::collection::vec(1.0f64..20.0, 4..10),
+        weights in prop::collection::vec(1.0f64..15.0, 4..10),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights.len());
+        let total_weight: f64 = weights[..n].iter().sum();
+        let cap = total_weight * cap_frac;
+        let mut lp = LinearProgram::maximize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_binary(format!("b{i}"), values[i]))
+            .collect();
+        lp.add_constraint(
+            vars.iter().zip(&weights[..n]).map(|(&v, &w)| (v, w)),
+            Relation::Le,
+            cap,
+        );
+        let milp = MilpSolver::default().solve(&lp).unwrap();
+        prop_assert!(lp.is_feasible(milp.values(), 1e-6));
+        // LP relaxation upper-bounds the integer optimum.
+        let lp_relax = proteus::solver::simplex::solve(&lp).unwrap();
+        prop_assert!(lp_relax.objective() >= milp.objective() - 1e-6);
+        // Greedy-by-density is a valid lower bound.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| (values[b] / weights[b]).total_cmp(&(values[a] / weights[a])));
+        let mut used = 0.0;
+        let mut greedy = 0.0;
+        for i in order {
+            if used + weights[i] <= cap {
+                used += weights[i];
+                greedy += values[i];
+            }
+        }
+        prop_assert!(milp.objective() >= greedy - 1e-6);
+    }
+
+    /// Proactive policies never emit a batch that misses the first query's
+    /// deadline, for arbitrary queue shapes.
+    #[test]
+    fn proactive_batches_meet_first_deadline(
+        n in 1usize..40,
+        gap_ms in 0.0f64..10.0,
+        age_frac in 0.0f64..1.2,
+    ) {
+        let zoo = ModelZoo::paper_table3();
+        let store = ProfileStore::build(&zoo, SloPolicy::default());
+        let variant = zoo.least_accurate(ModelFamily::EfficientNet).unwrap().id();
+        let profile = store.profile(variant, DeviceType::V100).unwrap();
+        let slo = SimTime::from_millis_f64(store.slo_ms(ModelFamily::EfficientNet));
+        let queue: Vec<Query> = (0..n)
+            .map(|i| Query::new(
+                QueryId(i as u64),
+                ModelFamily::EfficientNet,
+                SimTime::from_millis_f64(gap_ms * i as f64),
+                slo,
+            ))
+            .collect();
+        let now = SimTime::from_millis_f64(slo.as_millis_f64() * age_frac);
+        let ctx = BatchContext { now, queue: &queue, profile };
+        for mut policy in [
+            Box::new(ProteusBatching) as Box<dyn BatchPolicy>,
+            Box::new(NexusBatching),
+        ] {
+            match policy.decide(&ctx) {
+                BatchDecision::Execute(k) => {
+                    prop_assert!(k >= 1 && k as usize <= queue.len());
+                    let finish = now + SimTime::from_millis_f64(profile.latency(k));
+                    prop_assert!(
+                        finish <= queue[0].deadline,
+                        "{}: batch {k} finishes late", policy.name()
+                    );
+                }
+                BatchDecision::WaitUntil(t) => {
+                    prop_assert!(t > now, "{}: wait must be in the future", policy.name());
+                    // Waiting must still leave room to serve the first query.
+                    prop_assert!(
+                        t + SimTime::from_millis_f64(profile.latency(1)) <= queue[0].deadline
+                            || t <= queue[0].deadline,
+                        "{}: wait horizon {t} too late", policy.name()
+                    );
+                }
+                BatchDecision::DropExpired(d) => {
+                    prop_assert!(d >= 1 && d <= queue.len());
+                    // Every dropped query is genuinely unservable now.
+                    let l1 = SimTime::from_millis_f64(profile.latency(1));
+                    for q in &queue[..d] {
+                        prop_assert!(q.deadline < now + l1);
+                    }
+                }
+                BatchDecision::Idle => prop_assert!(queue.is_empty()),
+            }
+        }
+    }
+}

@@ -14,7 +14,9 @@ use proteus_core::batching::{BatchContext, BatchPolicy, ProteusBatching};
 use proteus_core::router::Router;
 use proteus_core::schedulers::AllocContext;
 use proteus_core::{FamilyMap, Query, QueryId};
-use proteus_profiler::{Cluster, DeviceId, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy};
+use proteus_profiler::{
+    Cluster, DeviceId, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy,
+};
 use proteus_sim::SimTime;
 
 fn router_lookup(c: &mut Criterion) {

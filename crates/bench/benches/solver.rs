@@ -1,0 +1,129 @@
+//! Microbenchmarks of the MILP solver over the three Fig. 10 scaling axes:
+//! devices (d), model variants (m) and query types (q).
+//!
+//! Each axis is swept on the faithful per-device formulation (the one whose
+//! cost grows fastest) plus one aggregated point at the paper-testbed
+//! operating scale. The machine-readable companion is
+//! `bench_solver_json` (`BENCH_solver.json`), which records the same
+//! instances with solver statistics for cross-commit comparison; this
+//! criterion harness adds statistical rigor (outlier detection, regression
+//! tracking) on development machines where criterion is available.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proteus_core::allocation::milp::{solve_allocation, Formulation, MilpConfig};
+use proteus_core::schedulers::AllocContext;
+use proteus_core::FamilyMap;
+use proteus_profiler::{Cluster, ModelFamily, ModelZoo, ProfileStore, SloPolicy, VariantSpec};
+
+/// A zoo with only the first `per_family` variants of each of the first
+/// `families` families (mirrors `fig10_milp_scaling`).
+fn sub_zoo(families: usize, per_family: usize) -> ModelZoo {
+    let full = ModelZoo::paper_table3();
+    let mut zoo = ModelZoo::new();
+    for &family in ModelFamily::ALL.iter().take(families) {
+        for v in full.variants_of(family).take(per_family) {
+            zoo.register(VariantSpec::new(
+                v.id(),
+                v.name(),
+                v.accuracy(),
+                v.reference_latency_ms(),
+                v.memory_mib(),
+                v.memory_per_item_mib(),
+            ));
+        }
+    }
+    zoo
+}
+
+fn demand_for(families: usize) -> FamilyMap<f64> {
+    FamilyMap::from_fn(|f| {
+        if f.index() < families {
+            30.0 + 5.0 * f.index() as f64
+        } else {
+            0.0
+        }
+    })
+}
+
+fn per_device_config() -> MilpConfig {
+    MilpConfig {
+        formulation: Formulation::PerDevice,
+        ..MilpConfig::default()
+    }
+}
+
+fn solve(cluster: &Cluster, zoo: &ModelZoo, families: usize, config: &MilpConfig) {
+    let store = ProfileStore::build(zoo, SloPolicy::default());
+    let ctx = AllocContext {
+        cluster,
+        zoo,
+        store: &store,
+    };
+    let demand = demand_for(families);
+    let _ = black_box(solve_allocation(&ctx, black_box(&demand), None, config));
+}
+
+fn axis_devices(c: &mut Criterion) {
+    let zoo = sub_zoo(4, 4);
+    let config = per_device_config();
+    let mut group = c.benchmark_group("solver/devices");
+    group.sample_size(10);
+    for &d in &[6u32, 12, 20, 32, 48] {
+        let cluster = Cluster::with_counts(d / 2, d / 4, d - d / 2 - d / 4);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &cluster, |b, cluster| {
+            b.iter(|| solve(cluster, &zoo, 4, &config));
+        });
+    }
+    group.finish();
+}
+
+fn axis_variants(c: &mut Criterion) {
+    let cluster = Cluster::with_counts(6, 3, 3);
+    let config = per_device_config();
+    let mut group = c.benchmark_group("solver/variants");
+    group.sample_size(10);
+    for &per in &[1usize, 2, 3, 4, 5] {
+        let zoo = sub_zoo(6, per);
+        group.bench_with_input(BenchmarkId::from_parameter(zoo.len()), &zoo, |b, zoo| {
+            b.iter(|| solve(&cluster, zoo, 6, &config));
+        });
+    }
+    group.finish();
+}
+
+fn axis_query_types(c: &mut Criterion) {
+    let cluster = Cluster::with_counts(6, 3, 3);
+    let config = per_device_config();
+    let mut group = c.benchmark_group("solver/query_types");
+    group.sample_size(10);
+    for &q in &[1usize, 3, 5, 7, 9] {
+        let zoo = sub_zoo(q, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(q), &zoo, |b, zoo| {
+            b.iter(|| solve(&cluster, zoo, q, &config));
+        });
+    }
+    group.finish();
+}
+
+fn operating_point(c: &mut Criterion) {
+    let zoo = ModelZoo::paper_table3();
+    let cluster = Cluster::paper_testbed();
+    let config = MilpConfig::default();
+    let mut group = c.benchmark_group("solver/operating_point");
+    group.sample_size(10);
+    group.bench_function("aggregated_paper_testbed", |b| {
+        b.iter(|| solve(&cluster, &zoo, 9, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    axis_devices,
+    axis_variants,
+    axis_query_types,
+    operating_point
+);
+criterion_main!(benches);

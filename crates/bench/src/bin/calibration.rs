@@ -69,11 +69,8 @@ fn batching() {
                     .into_iter()
                     .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
                     .collect();
-            let mut system = ServingSystem::new(
-                config,
-                Box::new(ProteusAllocator::default()),
-                p.clone(),
-            );
+            let mut system =
+                ServingSystem::new(config, Box::new(ProteusAllocator::default()), p.clone());
             let s = system.run(&stream).metrics.summary();
             print!("{name}={:.4} ", s.slo_violation_ratio);
         }

@@ -79,7 +79,9 @@ fn main() {
             .collect();
         let served: Vec<f64> = ts.iter().map(|b| b.served() as f64).collect();
         let minute = |s: &[f64]| -> Vec<f64> {
-            s.chunks(30).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+            s.chunks(30)
+                .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+                .collect()
         };
         println!("{label}:");
         println!("  throughput {}", sparkline(&minute(&served)));

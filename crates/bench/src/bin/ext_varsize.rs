@@ -56,8 +56,7 @@ fn main() {
             qps: QPS,
             secs: 120,
         });
-    let mean_cost: f64 =
-        arrivals.iter().map(|a| a.cost).sum::<f64>() / arrivals.len() as f64;
+    let mean_cost: f64 = arrivals.iter().map(|a| a.cost).sum::<f64>() / arrivals.len() as f64;
     println!(
         "§7 var-size inputs: {} BERT queries at {QPS:.0} QPS, mean cost {:.2}, max {:.2}\n",
         arrivals.len(),
@@ -76,11 +75,7 @@ fn main() {
         Box::new(ProteusBatching),
         Box::new(CostOblivious::default()),
     ];
-    let mut table = TextTable::new(vec![
-        "batching",
-        "SLO violation ratio",
-        "effective acc (%)",
-    ]);
+    let mut table = TextTable::new(vec!["batching", "SLO violation ratio", "effective acc (%)"]);
     for policy in policies {
         let name = policy.name();
         let mut system = ServingSystem::new(

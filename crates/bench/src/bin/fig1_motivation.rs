@@ -16,7 +16,13 @@ fn main() {
 
     // ------------------------------------------------------------- Fig. 1a
     println!("Fig. 1a: EfficientNet accuracy vs batch-1 throughput per device\n");
-    let mut table = TextTable::new(vec!["variant", "accuracy (%)", "CPU QPS", "1080Ti QPS", "V100 QPS"]);
+    let mut table = TextTable::new(vec![
+        "variant",
+        "accuracy (%)",
+        "CPU QPS",
+        "1080Ti QPS",
+        "V100 QPS",
+    ]);
     for v in zoo.variants_of(ModelFamily::EfficientNet) {
         let qps = |d: DeviceType| 1000.0 / model.latency_ms(v, d, 1);
         table.row(vec![

@@ -54,7 +54,11 @@ fn main() {
     print!("{}", summary_table.render());
 
     // Compact per-4-minute timeseries table for the three panels.
-    for (title, idx) in [("throughput (QPS)", 1usize), ("effective accuracy (%)", 2), ("SLO violations (/s)", 3)] {
+    for (title, idx) in [
+        ("throughput (QPS)", 1usize),
+        ("effective accuracy (%)", 2),
+        ("SLO violations (/s)", 3),
+    ] {
         println!("\n{title} by 4-minute window:");
         let mut t = TextTable::new(vec![
             "system", "0-4", "4-8", "8-12", "12-16", "16-20", "20-24",

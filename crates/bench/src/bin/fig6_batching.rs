@@ -25,9 +25,7 @@ fn stream(kind: ArrivalKind, qps: f64, secs: f64, seed: u64) -> Vec<QueryArrival
 fn main() {
     const QPS: f64 = 600.0;
     const SECS: f64 = 120.0;
-    println!(
-        "Fig. 6: batching policies at a fixed {QPS:.0} QPS for {SECS:.0} s per arrival law\n"
-    );
+    println!("Fig. 6: batching policies at a fixed {QPS:.0} QPS for {SECS:.0} s per arrival law\n");
 
     // Freeze the allocation: provision for the offered load (with the
     // paper's tight 1.05 capacity margin, so batching efficiency is what
@@ -49,7 +47,10 @@ fn main() {
     let policies: Vec<(&str, Box<dyn BatchPolicy>)> = vec![
         ("Proteus", Box::new(ProteusBatching)),
         ("Proteus w/ Nexus batching", Box::new(NexusBatching)),
-        ("Proteus w/ Clipper batching", Box::new(AimdBatching::default())),
+        (
+            "Proteus w/ Clipper batching",
+            Box::new(AimdBatching::default()),
+        ),
     ];
 
     let mut table = TextTable::new(vec!["batching", "uniform", "poisson", "gamma(0.05)"]);

@@ -45,7 +45,10 @@ fn ablations() -> Vec<Contender> {
 
 fn main() {
     let (_, arrivals) = paper_trace(42);
-    println!("Fig. 7: ablation on the diurnal trace ({} queries)\n", arrivals.len());
+    println!(
+        "Fig. 7: ablation on the diurnal trace ({} queries)\n",
+        arrivals.len()
+    );
 
     let mut table = TextTable::new(summary_headers());
     let mut rows = Vec::new();
@@ -57,7 +60,12 @@ fn main() {
     }
     print!("{}", table.render());
 
-    let find = |n: &str| rows.iter().find(|(name, _)| *name == n).map(|(_, s)| s).unwrap();
+    let find = |n: &str| {
+        rows.iter()
+            .find(|(name, _)| *name == n)
+            .map(|(_, s)| s)
+            .unwrap()
+    };
     let full = find("Proteus");
     println!("\nShape checks (paper §6.5):");
     println!(

@@ -32,7 +32,9 @@ fn main() {
         for &m in &multipliers {
             let mut config = SystemConfig::paper_testbed();
             config.slo = SloPolicy::with_multiplier(m);
-            let s = run_contender(&contender, config, &arrivals).metrics.summary();
+            let s = run_contender(&contender, config, &arrivals)
+                .metrics
+                .summary();
             t_row.push(fmt_f(s.avg_throughput_qps, 0));
             d_row.push(fmt_f(s.max_accuracy_drop_pct(), 1));
             v_row.push(fmt_f(s.slo_violation_ratio, 3));

@@ -75,7 +75,11 @@ fn main() {
     for fam in outcome.metrics.family_summaries() {
         let ts = outcome.metrics.family_timeseries(fam.family);
         let served: Vec<f64> = ts.iter().map(|b| b.served() as f64).collect();
-        println!("{:<14} {}", fam.family.label(), sparkline(&per_minute(&served)));
+        println!(
+            "{:<14} {}",
+            fam.family.label(),
+            sparkline(&per_minute(&served))
+        );
     }
     println!(
         "\nExpected shape (paper §6.7): throughput follows the Zipf split;\n\

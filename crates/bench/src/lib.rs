@@ -139,7 +139,9 @@ pub fn per_minute(series: &[f64]) -> Vec<f64> {
 /// Prints the demand curve of a trace per minute (the "Demand" series every
 /// timeseries figure carries).
 pub fn demand_per_minute(trace: &dyn DemandTrace) -> Vec<f64> {
-    let series: Vec<f64> = (0..trace.duration_secs()).map(|s| trace.qps_at(s)).collect();
+    let series: Vec<f64> = (0..trace.duration_secs())
+        .map(|s| trace.qps_at(s))
+        .collect();
     per_minute(&series)
 }
 
@@ -153,7 +155,13 @@ mod tests {
         let names: Vec<&str> = paper_contenders().iter().map(|c| c.name).collect();
         assert_eq!(
             names,
-            vec!["Clipper-HA", "Clipper-HT", "Sommelier", "INFaaS-Accuracy", "Proteus"]
+            vec![
+                "Clipper-HA",
+                "Clipper-HT",
+                "Sommelier",
+                "INFaaS-Accuracy",
+                "Proteus"
+            ]
         );
     }
 
@@ -178,11 +186,7 @@ mod tests {
         let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
             .seed(1)
             .build(&FlatTrace { qps: 30.0, secs: 5 });
-        let outcome = run_contender(
-            &paper_contenders()[4],
-            SystemConfig::small(),
-            &arrivals,
-        );
+        let outcome = run_contender(&paper_contenders()[4], SystemConfig::small(), &arrivals);
         let s = outcome.metrics.summary();
         assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
     }

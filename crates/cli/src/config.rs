@@ -168,8 +168,7 @@ impl FromStr for ExperimentConfig {
             let value = value.trim();
             let bad = |reason: String| ParseConfigError { line, reason };
             let num = |v: &str| -> Result<f64, ParseConfigError> {
-                v.parse()
-                    .map_err(|_| bad(format!("`{v}` is not a number")))
+                v.parse().map_err(|_| bad(format!("`{v}` is not a number")))
             };
             match key {
                 "trace" => {
@@ -219,7 +218,8 @@ impl FromStr for ExperimentConfig {
                         return Err(bad("cluster needs `cpu,gtx,v100` counts".into()));
                     }
                     let parse = |v: &str| -> Result<u32, ParseConfigError> {
-                        v.parse().map_err(|_| bad(format!("bad device count `{v}`")))
+                        v.parse()
+                            .map_err(|_| bad(format!("bad device count `{v}`")))
                     };
                     config.cluster = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
                 }
@@ -239,10 +239,9 @@ impl FromStr for ExperimentConfig {
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
         }
-        config.validate().map_err(|reason| ParseConfigError {
-            line: 0,
-            reason,
-        })?;
+        config
+            .validate()
+            .map_err(|reason| ParseConfigError { line: 0, reason })?;
         Ok(config)
     }
 }
@@ -349,7 +348,9 @@ mod tests {
         assert!(err.reason.contains("unknown key"));
         let err = "trace = lunar".parse::<ExperimentConfig>().unwrap_err();
         assert!(err.reason.contains("unknown trace"));
-        let err = "batching = static:0".parse::<ExperimentConfig>().unwrap_err();
+        let err = "batching = static:0"
+            .parse::<ExperimentConfig>()
+            .unwrap_err();
         assert!(err.reason.contains(">= 1"));
         let err = "peak_qps = fast".parse::<ExperimentConfig>().unwrap_err();
         assert!(err.reason.contains("not a number"));

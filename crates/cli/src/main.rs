@@ -59,7 +59,11 @@ fn main() -> ExitCode {
             };
             eprintln!(
                 "running: {:?} allocation, {:?} batching, {:?} trace ({} s, peak {} QPS)",
-                config.allocation, config.batching, config.trace, config.trace_secs, config.peak_qps
+                config.allocation,
+                config.batching,
+                config.trace,
+                config.trace_secs,
+                config.peak_qps
             );
             let output = run_experiment(&config);
             print!("{}", output.report);

@@ -75,11 +75,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         .build(trace.as_ref());
 
     let mut system_config = SystemConfig::paper_testbed();
-    system_config.cluster = Cluster::with_counts(
-        config.cluster.0,
-        config.cluster.1,
-        config.cluster.2,
-    );
+    system_config.cluster =
+        Cluster::with_counts(config.cluster.0, config.cluster.1, config.cluster.2);
     system_config.slo = SloPolicy::with_multiplier(config.slo_multiplier);
     system_config.realloc_period_secs = config.realloc_period_secs;
     system_config.demand_headroom = config.beta;
@@ -103,7 +100,10 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
             t.row(vec!["arrived".into(), s.total_arrived.to_string()]);
             t.row(vec!["served".into(), s.total_served.to_string()]);
             t.row(vec!["dropped".into(), s.total_dropped.to_string()]);
-            t.row(vec!["avg throughput (QPS)".into(), fmt_f(s.avg_throughput_qps, 1)]);
+            t.row(vec![
+                "avg throughput (QPS)".into(),
+                fmt_f(s.avg_throughput_qps, 1),
+            ]);
             t.row(vec![
                 "effective accuracy (%)".into(),
                 fmt_f(s.effective_accuracy_pct(), 2),
@@ -116,12 +116,44 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                 "SLO violation ratio".into(),
                 fmt_f(s.slo_violation_ratio, 4),
             ]);
-            t.row(vec!["re-allocations".into(), outcome.reallocations.to_string()]);
+            t.row(vec![
+                "re-allocations".into(),
+                outcome.reallocations.to_string(),
+            ]);
+            // Per-replan solver cost (zero for the heuristic baselines).
+            let st = outcome.solver_stats;
+            if st.nodes > 0 {
+                t.row(vec!["solver nodes".into(), st.nodes.to_string()]);
+                t.row(vec!["solver pruned".into(), st.pruned.to_string()]);
+                t.row(vec![
+                    "solver simplex iterations".into(),
+                    st.simplex_iterations.to_string(),
+                ]);
+                t.row(vec![
+                    "solver warm-start hits (%)".into(),
+                    fmt_f(st.warm_hit_rate() * 100.0, 1),
+                ]);
+                t.row(vec![
+                    "solver wall (ms)".into(),
+                    fmt_f(st.wall_secs() * 1e3, 2),
+                ]);
+                t.row(vec![
+                    "solver wall / replan (ms)".into(),
+                    fmt_f(
+                        st.wall_secs() * 1e3 / f64::from(outcome.reallocations.max(1)),
+                        2,
+                    ),
+                ]);
+            }
             t.render()
         }
         OutputKind::Timeseries => {
             let mut t = TextTable::new(vec![
-                "second", "arrived", "served", "violations", "effective_acc",
+                "second",
+                "arrived",
+                "served",
+                "violations",
+                "effective_acc",
             ]);
             for (i, b) in outcome.metrics.timeseries().iter().enumerate() {
                 t.row(vec![
@@ -230,9 +262,7 @@ mod tests {
     fn every_algorithm_combination_runs() {
         for alloc in ["ilp", "infaas_v2", "clipper_ht", "clipper_ha", "sommelier"] {
             for batch in ["accscale", "aimd", "nexus", "static:2"] {
-                let cfg = quick_config(&format!(
-                    "model_allocation = {alloc}\nbatching = {batch}"
-                ));
+                let cfg = quick_config(&format!("model_allocation = {alloc}\nbatching = {batch}"));
                 let out = run_experiment(&cfg);
                 let s = out.outcome.metrics.summary();
                 assert_eq!(

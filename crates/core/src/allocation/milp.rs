@@ -152,7 +152,9 @@ impl Default for MilpConfig {
 pub struct MilpOutcome {
     /// The decoded plan.
     pub plan: AllocationPlan,
-    /// Branch-and-bound statistics (for the Fig. 10 overhead study).
+    /// Branch-and-bound statistics (for the Fig. 10 overhead study and the
+    /// controller's per-replan report), accumulated across every
+    /// shrink-and-retry round — failed rounds cost solver time too.
     pub stats: SolveStats,
     /// Demand shrink factor that was needed (1.0 = full demand feasible).
     pub shrink: f64,
@@ -212,16 +214,24 @@ pub fn solve_allocation(
         .iter()
         .filter(|&&f| demand[f] > 0.0 && ctx.zoo.variants_of(f).next().is_some())
         .count();
+    // Accumulated across every attempt: a replan's true solver cost
+    // includes the rounds that came back infeasible.
+    let mut total = SolveStats::default();
     if families_needed <= ctx.cluster.len() {
         let mut shrink = 1.0;
         for _round in 0..=config.max_shrink_rounds {
             let target = demand.scaled(1.0 / shrink);
-            let attempt = solve_once(ctx, &target, current, config, DemandMode::Strict);
+            let (attempt, stats) = solve_once(ctx, &target, current, config, DemandMode::Strict);
+            total += stats;
             match attempt {
-                Ok((plan, stats)) => {
+                Ok(plan) => {
                     let mut plan = plan;
                     plan.set_shrink(shrink);
-                    return Ok(MilpOutcome { plan, stats, shrink });
+                    return Ok(MilpOutcome {
+                        plan,
+                        stats: total,
+                        shrink,
+                    });
                 }
                 Err(SolveError::Infeasible) => shrink *= config.shrink_beta,
                 // Node budget exhausted without an incumbent: shrinking
@@ -236,8 +246,9 @@ pub fn solve_allocation(
     // so a small node budget suffices.
     let mut soft_config = config.clone();
     soft_config.solver.max_nodes = soft_config.solver.max_nodes.min(300);
-    let (plan, stats) = solve_once(ctx, &demand, current, &soft_config, DemandMode::Soft)?;
-    let mut plan = plan;
+    let (attempt, stats) = solve_once(ctx, &demand, current, &soft_config, DemandMode::Soft);
+    total += stats;
+    let mut plan = attempt?;
     let planned: f64 = ModelFamily::ALL
         .iter()
         .map(|&f| plan.capacity(f).min(demand[f]))
@@ -248,7 +259,11 @@ pub fn solve_allocation(
         f64::INFINITY
     };
     plan.set_shrink(shrink);
-    Ok(MilpOutcome { plan, stats, shrink })
+    Ok(MilpOutcome {
+        plan,
+        stats: total,
+        shrink,
+    })
 }
 
 fn solve_once(
@@ -257,7 +272,7 @@ fn solve_once(
     current: Option<&AllocationPlan>,
     config: &MilpConfig,
     mode: DemandMode,
-) -> Result<(AllocationPlan, SolveStats), SolveError> {
+) -> (Result<AllocationPlan, SolveError>, SolveStats) {
     match config.formulation {
         Formulation::TypeAggregated => solve_aggregated(ctx, demand, current, config, mode),
         Formulation::PerDevice => solve_per_device(ctx, demand, current, config, mode),
@@ -301,13 +316,16 @@ fn candidate_pairs(ctx: &AllocContext<'_>, config: &MilpConfig) -> Vec<Pair> {
 }
 
 /// Type-aggregated exact encoding.
+///
+/// Returns the solve attempt alongside the stats it cost, so callers can
+/// account for infeasible rounds in the replan's total solver bill.
 fn solve_aggregated(
     ctx: &AllocContext<'_>,
     demand: &FamilyMap<f64>,
     current: Option<&AllocationPlan>,
     config: &MilpConfig,
     mode: DemandMode,
-) -> Result<(AllocationPlan, SolveStats), SolveError> {
+) -> (Result<AllocationPlan, SolveError>, SolveStats) {
     let pairs = candidate_pairs(ctx, config);
     let mut lp = LinearProgram::maximize();
 
@@ -343,7 +361,11 @@ fn solve_aggregated(
             .map(|(_, &v)| (v, 1.0))
             .collect();
         if !terms.is_empty() {
-            lp.add_constraint(terms, Relation::Le, ctx.cluster.count_of(device_type) as f64);
+            lp.add_constraint(
+                terms,
+                Relation::Le,
+                ctx.cluster.count_of(device_type) as f64,
+            );
         }
     }
 
@@ -402,7 +424,7 @@ fn solve_aggregated(
             .collect();
         if terms.is_empty() {
             if demand[family] > 0.0 && mode == DemandMode::Strict {
-                return Err(SolveError::Infeasible);
+                return (Err(SolveError::Infeasible), SolveStats::default());
             }
             continue;
         }
@@ -455,7 +477,11 @@ fn solve_aggregated(
             .ok()
             .map(|s| s.values().to_vec())
     });
-    let (solution, stats) = config.solver.solve_with_hint(&lp, hint.as_deref())?;
+    let (attempt, stats) = config.solver.solve_attempt(&lp, hint.as_deref());
+    let solution = match attempt {
+        Ok(s) => s,
+        Err(e) => return (Err(e), stats),
+    };
 
     // Decode group counts and rates.
     let counts: Vec<u32> = n_vars
@@ -463,10 +489,12 @@ fn solve_aggregated(
         .map(|&v| solution.value(v).round() as u32)
         .collect();
     let rates: Vec<f64> = z_vars.iter().map(|&v| solution.value(v).max(0.0)).collect();
-    Ok((
-        expand_aggregated(ctx, &pairs, &counts, &rates, demand, current),
+    (
+        Ok(expand_aggregated(
+            ctx, &pairs, &counts, &rates, demand, current,
+        )),
         stats,
-    ))
+    )
 }
 
 /// Expands per-(type, variant) counts onto concrete devices, keeping
@@ -544,7 +572,11 @@ fn expand_aggregated(
             for d in group {
                 // Weight ∝ planned rate; fall back to capacity share when the
                 // group was hosted for standby only (zero planned rate).
-                let weight = if per_device > 1e-9 { per_device } else { peak * 1e-3 };
+                let weight = if per_device > 1e-9 {
+                    per_device
+                } else {
+                    peak * 1e-3
+                };
                 routing[variant.family].push((d, weight));
                 capacity[variant.family] += peak;
             }
@@ -571,7 +603,7 @@ fn solve_per_device(
     current: Option<&AllocationPlan>,
     config: &MilpConfig,
     mode: DemandMode,
-) -> Result<(AllocationPlan, SolveStats), SolveError> {
+) -> (Result<AllocationPlan, SolveError>, SolveStats) {
     let pairs = candidate_pairs(ctx, config);
     let mut lp = LinearProgram::maximize();
 
@@ -651,7 +683,7 @@ fn solve_per_device(
             .collect();
         if terms.is_empty() {
             if demand[family] > 0.0 && mode == DemandMode::Strict {
-                return Err(SolveError::Infeasible);
+                return (Err(SolveError::Infeasible), SolveStats::default());
             }
             continue;
         }
@@ -662,7 +694,11 @@ fn solve_per_device(
         lp.add_constraint(terms, relation, demand[family]);
     }
 
-    let (solution, stats) = config.solver.solve_with_stats(&lp)?;
+    let (attempt, stats) = config.solver.solve_attempt(&lp, None);
+    let solution = match attempt {
+        Ok(s) => s,
+        Err(e) => return (Err(e), stats),
+    };
 
     let mut plan = AllocationPlan::empty(ctx.cluster.len());
     let mut routing: FamilyMap<Vec<(DeviceId, f64)>> = FamilyMap::default();
@@ -681,7 +717,7 @@ fn solve_per_device(
         plan.set_routing(family, entries);
         plan.set_capacity(family, capacity[family]);
     }
-    Ok((plan, stats))
+    (Ok(plan), stats)
 }
 
 #[cfg(test)]
@@ -861,9 +897,13 @@ mod tests {
         let env = Env::new(2, 2, 2);
         let demand = demand_single(ModelFamily::EfficientNet, 50.0);
         let first = solve_allocation(&env.ctx(), &demand, None, &MilpConfig::default()).unwrap();
-        let second =
-            solve_allocation(&env.ctx(), &demand, Some(&first.plan), &MilpConfig::default())
-                .unwrap();
+        let second = solve_allocation(
+            &env.ctx(),
+            &demand,
+            Some(&first.plan),
+            &MilpConfig::default(),
+        )
+        .unwrap();
         // Same demand, same optimum → identical assignments (no churn).
         let a: Vec<_> = first.plan.assignments().collect();
         let b: Vec<_> = second.plan.assignments().collect();
@@ -918,11 +958,11 @@ mod tests {
     fn swap_cost_damps_plan_churn() {
         let env = Env::new(5, 3, 3);
         let base = FamilyMap::from_fn(|f| 20.0 + 3.0 * f.index() as f64);
-        let first =
-            solve_allocation(&env.ctx(), &base, None, &MilpConfig::default()).unwrap();
+        let first = solve_allocation(&env.ctx(), &base, None, &MilpConfig::default()).unwrap();
         // Perturb demand by ±4 %: with the swap-cost credit, the optimal
         // response is to keep the same placements.
-        let perturbed = FamilyMap::from_fn(|f| base[f] * if f.index() % 2 == 0 { 1.04 } else { 0.96 });
+        let perturbed =
+            FamilyMap::from_fn(|f| base[f] * if f.index() % 2 == 0 { 1.04 } else { 0.96 });
         let second = solve_allocation(
             &env.ctx(),
             &perturbed,

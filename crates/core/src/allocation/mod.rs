@@ -178,7 +178,10 @@ impl AllocationPlan {
             match ctx.store.profile(variant, spec.device_type) {
                 Some(p) if p.is_feasible() => {}
                 _ => {
-                    return Some(format!("{variant} is infeasible on {device} ({})", spec.device_type))
+                    return Some(format!(
+                        "{variant} is infeasible on {device} ({})",
+                        spec.device_type
+                    ))
                 }
             }
         }
@@ -229,7 +232,10 @@ mod tests {
         let mut plan = AllocationPlan::empty(3);
         assert_eq!(plan.num_devices(), 3);
         plan.assign(DeviceId(1), Some(vid(ModelFamily::ResNet, 2)));
-        assert_eq!(plan.assignment(DeviceId(1)), Some(vid(ModelFamily::ResNet, 2)));
+        assert_eq!(
+            plan.assignment(DeviceId(1)),
+            Some(vid(ModelFamily::ResNet, 2))
+        );
         assert_eq!(plan.assignment(DeviceId(0)), None);
         assert_eq!(plan.assignments().count(), 1);
         plan.assign(DeviceId(1), None);

@@ -137,9 +137,9 @@ impl BatchPolicy for StaticBatching {
 
 #[cfg(test)]
 mod tests {
-    use proteus_sim::SimTime;
     use super::*;
     use crate::batching::testutil::{profile, queue};
+    use proteus_sim::SimTime;
 
     fn ctx<'a>(
         now: SimTime,
@@ -169,7 +169,11 @@ mod tests {
         for _ in 0..100 {
             aimd.on_batch_complete(false);
         }
-        assert_eq!(aimd.cap(), GLOBAL_MAX_BATCH, "cap saturates at the global max");
+        assert_eq!(
+            aimd.cap(),
+            GLOBAL_MAX_BATCH,
+            "cap saturates at the global max"
+        );
     }
 
     #[test]
@@ -238,10 +242,16 @@ mod tests {
         let (p, slo) = profile();
         let q = queue(3, SimTime::ZERO, SimTime::ZERO, slo);
         let mut s = StaticBatching::new(8);
-        assert_eq!(s.decide(&ctx(SimTime::ZERO, &q, &p)), BatchDecision::Execute(3));
+        assert_eq!(
+            s.decide(&ctx(SimTime::ZERO, &q, &p)),
+            BatchDecision::Execute(3)
+        );
         let mut s1 = StaticBatching::default();
         assert_eq!(s1.size(), 1);
-        assert_eq!(s1.decide(&ctx(SimTime::ZERO, &q, &p)), BatchDecision::Execute(1));
+        assert_eq!(
+            s1.decide(&ctx(SimTime::ZERO, &q, &p)),
+            BatchDecision::Execute(1)
+        );
         assert_eq!(s1.decide(&ctx(SimTime::ZERO, &[], &p)), BatchDecision::Idle);
     }
 

@@ -62,8 +62,7 @@ impl BatchPolicy for ProteusBatching {
 
         // q == safe < max_batch: consider waiting for query q+1, whose cost
         // is estimated by the queue's mean (§7 input-size awareness).
-        let t_process_next =
-            ctx.latency_for_cost(ctx.batch_cost(q as usize) + ctx.mean_cost());
+        let t_process_next = ctx.latency_for_cost(ctx.batch_cost(q as usize) + ctx.mean_cost());
         let first_deadline = ctx.queue[0].deadline;
         if first_deadline < t_process_next {
             // Even starting at time zero a (q+1)-batch would be too slow;
@@ -108,7 +107,10 @@ mod tests {
     fn empty_queue_is_idle() {
         let (p, _) = profile();
         let mut policy = ProteusBatching;
-        assert_eq!(policy.decide(&ctx(SimTime::ZERO, &[], &p)), BatchDecision::Idle);
+        assert_eq!(
+            policy.decide(&ctx(SimTime::ZERO, &[], &p)),
+            BatchDecision::Idle
+        );
     }
 
     #[test]
@@ -137,10 +139,7 @@ mod tests {
         let t_wait = q[0].deadline - SimTime::from_millis_f64(p.latency(4));
         let margin = SimTime::from_millis_f64((p.latency(4) - p.latency(3)) / 2.0);
         let now = t_wait + margin;
-        assert_eq!(
-            policy.decide(&ctx(now, &q, &p)),
-            BatchDecision::Execute(3)
-        );
+        assert_eq!(policy.decide(&ctx(now, &q, &p)), BatchDecision::Execute(3));
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl<T> FamilyMap<T> {
 
     /// Iterates over `(family, &value)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (ModelFamily, &T)> + '_ {
-        ModelFamily::ALL.iter().map(move |&f| (f, &self.values[f.index()]))
+        ModelFamily::ALL
+            .iter()
+            .map(move |&f| (f, &self.values[f.index()]))
     }
 }
 

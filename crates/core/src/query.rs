@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn expiry_is_strict() {
         let q = q();
-        assert!(!q.is_expired(SimTime::from_millis(150)), "deadline instant still on time");
+        assert!(
+            !q.is_expired(SimTime::from_millis(150)),
+            "deadline instant still on time"
+        );
         assert!(q.is_expired(SimTime::from_millis(151)));
     }
 

@@ -135,7 +135,10 @@ mod tests {
     fn smooth_interleaving_not_bursts() {
         // SWRR with weights 2:1 must not send two consecutive queries to the
         // light host, and must interleave rather than sending runs.
-        let mut r = Router::new(ModelFamily::Bert, vec![(DeviceId(0), 2.0), (DeviceId(1), 1.0)]);
+        let mut r = Router::new(
+            ModelFamily::Bert,
+            vec![(DeviceId(0), 2.0), (DeviceId(1), 1.0)],
+        );
         let seq: Vec<u32> = (0..9).map(|_| r.route().unwrap().0).collect();
         // Pattern repeats every 3 with device 0 twice per period.
         for w in seq.chunks(3) {
@@ -175,7 +178,10 @@ mod tests {
             .find(|r| r.family() == ModelFamily::ResNet)
             .unwrap();
         assert!(resnet.has_targets());
-        let t5 = routers.iter().find(|r| r.family() == ModelFamily::T5).unwrap();
+        let t5 = routers
+            .iter()
+            .find(|r| r.family() == ModelFamily::T5)
+            .unwrap();
         assert!(!t5.has_targets());
     }
 

@@ -49,6 +49,13 @@ pub trait Allocator: std::fmt::Debug + Send {
     fn on_critical_path(&self) -> bool {
         false
     }
+
+    /// Solver statistics for the most recent [`allocate`](Self::allocate)
+    /// call, where the allocator is solver-backed. Heuristic allocators
+    /// return `None` and the controller skips the per-replan solver report.
+    fn last_solve_stats(&self) -> Option<SolveStats> {
+        None
+    }
 }
 
 /// Builds capacity-proportional routing for an assignment-only plan and
@@ -149,6 +156,9 @@ impl Allocator for ProteusAllocator {
         current: Option<&AllocationPlan>,
         _now: SimTime,
     ) -> AllocationPlan {
+        // Cleared up front so a failed solve does not leave a stale report
+        // that callers would attribute (and double-count) to this replan.
+        self.last_stats = None;
         match solve_allocation(ctx, demand, current, &self.config) {
             Ok(outcome) => {
                 self.last_stats = Some(outcome.stats);
@@ -171,6 +181,10 @@ impl Allocator for ProteusAllocator {
                 .unwrap_or_else(|| AllocationPlan::empty(ctx.cluster.len())),
         }
     }
+
+    fn last_solve_stats(&self) -> Option<SolveStats> {
+        self.last_stats
+    }
 }
 
 /// Which Clipper flavour to run (§6.1.1).
@@ -189,6 +203,7 @@ pub enum ClipperMode {
 pub struct ClipperAllocator {
     mode: ClipperMode,
     config: MilpConfig,
+    last_stats: Option<SolveStats>,
 }
 
 impl ClipperAllocator {
@@ -204,6 +219,7 @@ impl ClipperAllocator {
                 restriction,
                 ..MilpConfig::default()
             },
+            last_stats: None,
         }
     }
 }
@@ -227,12 +243,20 @@ impl Allocator for ClipperAllocator {
         current: Option<&AllocationPlan>,
         _now: SimTime,
     ) -> AllocationPlan {
+        self.last_stats = None;
         match solve_allocation(ctx, demand, current, &self.config) {
-            Ok(outcome) => outcome.plan,
+            Ok(outcome) => {
+                self.last_stats = Some(outcome.stats);
+                outcome.plan
+            }
             Err(_) => current
                 .cloned()
                 .unwrap_or_else(|| AllocationPlan::empty(ctx.cluster.len())),
         }
+    }
+
+    fn last_solve_stats(&self) -> Option<SolveStats> {
+        self.last_stats
     }
 }
 
@@ -291,13 +315,16 @@ impl Allocator for SommelierAllocator {
                 continue;
             }
             // Ordered variant list, least accurate first.
-            let variants: Vec<VariantId> =
-                ctx.zoo.variants_of(family).map(|v| v.id()).collect();
+            let variants: Vec<VariantId> = ctx.zoo.variants_of(family).map(|v| v.id()).collect();
             // Per-device: index into `variants`, starting at the most
             // accurate feasible one.
             let mut chosen: Vec<(DeviceId, usize)> = Vec::new();
             for &d in &devices {
-                let dt = ctx.cluster.device(d).expect("pinned device exists").device_type;
+                let dt = ctx
+                    .cluster
+                    .device(d)
+                    .expect("pinned device exists")
+                    .device_type;
                 let best = (0..variants.len())
                     .rev()
                     .find(|&i| ctx.store.peak_qps(variants[i], dt) > 0.0);
@@ -384,8 +411,7 @@ impl Allocator for InfaasAccuracyAllocator {
         let mut assignment: Vec<Option<VariantId>> = (0..ctx.cluster.len())
             .map(|i| current.and_then(|c| c.assignment(DeviceId(i as u32))))
             .collect();
-        let device_type =
-            |d: usize| ctx.cluster.device(DeviceId(d as u32)).unwrap().device_type;
+        let device_type = |d: usize| ctx.cluster.device(DeviceId(d as u32)).unwrap().device_type;
         let peak_of = |v: VariantId, d: usize| ctx.store.peak_qps(v, device_type(d));
         let capacity = |assignment: &[Option<VariantId>], family: ModelFamily| -> f64 {
             assignment
@@ -420,8 +446,7 @@ impl Allocator for InfaasAccuracyAllocator {
         //    is left: exactly the ordering-induced local optima the paper
         //    attributes its peak-time degradation to.
         for family in ModelFamily::ALL {
-            let variants: Vec<VariantId> =
-                ctx.zoo.variants_of(family).map(|v| v.id()).collect();
+            let variants: Vec<VariantId> = ctx.zoo.variants_of(family).map(|v| v.id()).collect();
             loop {
                 let deficit = demand[family] - capacity(&assignment, family);
                 if deficit <= 0.0 {
@@ -645,9 +670,7 @@ mod tests {
             SimTime::from_secs(1),
         );
         assert_eq!(high.validate(&env.ctx()), None);
-        assert!(
-            high.capacity(ModelFamily::EfficientNet) > low.capacity(ModelFamily::EfficientNet)
-        );
+        assert!(high.capacity(ModelFamily::EfficientNet) > low.capacity(ModelFamily::EfficientNet));
         let acc_low = low.planned_accuracy(&env.ctx())[ModelFamily::EfficientNet];
         let acc_high = high.planned_accuracy(&env.ctx())[ModelFamily::EfficientNet];
         assert!(acc_high < acc_low);

@@ -22,6 +22,7 @@
 use proteus_metrics::MetricsCollector;
 use proteus_profiler::{Cluster, ModelZoo, ProfileStore, SloPolicy, VariantId};
 use proteus_sim::{Actor, SimTime, Simulation};
+use proteus_solver::SolveStats;
 use proteus_workloads::dist::standard_normal;
 use proteus_workloads::QueryArrival;
 use rand::rngs::StdRng;
@@ -166,6 +167,10 @@ pub struct RunOutcome {
     pub burst_reallocations: u32,
     /// Wall-clock seconds spent inside the allocator (§6.8 overhead).
     pub allocator_wall_secs: f64,
+    /// MILP solver statistics accumulated over every re-allocation (nodes,
+    /// pivots, warm-start hits, wall time). Zero when the allocator is not
+    /// solver-backed (the heuristic baselines).
+    pub solver_stats: SolveStats,
     /// Re-allocations where demand had to be shrunk for feasibility.
     pub shrunk_plans: u32,
     /// Devices added by the §7 hardware-scaling tandem extension.
@@ -281,9 +286,10 @@ impl ServingSystem {
         let last_at = arrivals.last().map_or(SimTime::ZERO, |a| a.at);
         let horizon = last_at + SimTime::from_secs_f64(self.config.drain_secs);
 
-        let provision = self.config.provision_demand.unwrap_or_else(|| {
-            mean_demand(arrivals)
-        });
+        let provision = self
+            .config
+            .provision_demand
+            .unwrap_or_else(|| mean_demand(arrivals));
 
         let cluster = self.config.cluster.clone();
         let mut engine = Engine {
@@ -310,6 +316,7 @@ impl ServingSystem {
             reallocations: 0,
             burst_reallocations: 0,
             allocator_wall_secs: 0.0,
+            solver_stats: SolveStats::default(),
             shrunk_plans: 0,
             batching_proto: self.batching.clone_box(),
             extra_ordered: 0,
@@ -349,6 +356,7 @@ impl ServingSystem {
             reallocations: engine.reallocations,
             burst_reallocations: engine.burst_reallocations,
             allocator_wall_secs: engine.allocator_wall_secs,
+            solver_stats: engine.solver_stats,
             shrunk_plans: engine.shrunk_plans,
             provisioned_devices: engine.provisioned,
             device_stats: engine.device_stats,
@@ -363,10 +371,7 @@ pub fn mean_demand(arrivals: &[QueryArrival]) -> FamilyMap<f64> {
     for a in arrivals {
         counts[a.family] += 1.0;
     }
-    let secs = arrivals
-        .last()
-        .map_or(1.0, |a| a.at.as_secs_f64())
-        .max(1.0);
+    let secs = arrivals.last().map_or(1.0, |a| a.at.as_secs_f64()).max(1.0);
     counts.scaled(1.0 / secs)
 }
 
@@ -391,6 +396,7 @@ struct Engine<'a> {
     reallocations: u32,
     burst_reallocations: u32,
     allocator_wall_secs: f64,
+    solver_stats: SolveStats,
     shrunk_plans: u32,
     batching_proto: Box<dyn BatchPolicy>,
     extra_ordered: u32,
@@ -411,6 +417,9 @@ impl Engine<'_> {
         let start = std::time::Instant::now();
         let plan = self.allocator.allocate(&ctx, &demand, None, SimTime::ZERO);
         self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        if let Some(stats) = self.allocator.last_solve_stats() {
+            self.solver_stats += stats;
+        }
         self.reallocations += 1;
         if plan.shrink() > 1.0 {
             self.shrunk_plans += 1;
@@ -435,8 +444,7 @@ impl Engine<'_> {
             .map_or(0.0, |s| s.memory_mib() / 1024.0);
         let mut secs = self.config.load_base_secs + self.config.load_secs_per_gib * gib;
         if self.config.startup_noise_secs > 0.0 {
-            secs += self.config.startup_noise_secs
-                * rand::Rng::random::<f64>(&mut self.rng);
+            secs += self.config.startup_noise_secs * rand::Rng::random::<f64>(&mut self.rng);
         }
         SimTime::from_secs_f64(secs)
     }
@@ -591,12 +599,10 @@ impl Engine<'_> {
         let mut touched = Vec::new();
         for q in displaced {
             match self.route(q.family) {
-                Some(d) => {
-                    match self.workers[d].enqueue(q) {
-                        Ok(()) => touched.push(d),
-                        Err(q) => self.metrics.record_dropped(now, q.family),
-                    }
-                }
+                Some(d) => match self.workers[d].enqueue(q) {
+                    Ok(()) => touched.push(d),
+                    Err(q) => self.metrics.record_dropped(now, q.family),
+                },
                 None => self.metrics.record_dropped(now, q.family),
             }
         }
@@ -632,6 +638,9 @@ impl Engine<'_> {
             .allocator
             .allocate(&ctx, &demand, Some(&self.plan), now);
         self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        if let Some(stats) = self.allocator.last_solve_stats() {
+            self.solver_stats += stats;
+        }
         self.reallocations += 1;
         if burst {
             self.burst_reallocations += 1;
@@ -743,16 +752,15 @@ impl Actor for Engine<'_> {
                         // Burst detection (monitoring daemon → controller):
                         // demand outgrowing what the plan was built for.
                         let inst = self.estimator.instantaneous();
-                        let cooldown =
-                            SimTime::from_secs_f64(self.config.burst_cooldown_secs);
+                        let cooldown = SimTime::from_secs_f64(self.config.burst_cooldown_secs);
                         let calm = now.saturating_sub(self.last_realloc) >= cooldown;
                         let bursty = inst.iter().any(|(f, &rate)| {
                             let planned = self.planned_for[f].max(1.0);
                             // Relative growth plus a 3-sigma Poisson guard
                             // band, so counting noise on low-rate families
                             // does not masquerade as a burst.
-                            let trigger = self.config.burst_threshold * planned
-                                + 3.0 * planned.sqrt();
+                            let trigger =
+                                self.config.burst_threshold * planned + 3.0 * planned.sqrt();
                             rate > 5.0 && rate > trigger
                         });
                         if calm && bursty {
@@ -946,9 +954,7 @@ mod tests {
     fn ramps_trigger_repeated_reallocation() {
         // A steep ramp must keep firing the burst detector (demand outgrows
         // the plan's baseline), far more often than the periodic cadence.
-        let trace = proteus_workloads::DiurnalTrace::new(
-            60, 30.0, 600.0, 1, 0.0, 0.0, 1.0, 2,
-        );
+        let trace = proteus_workloads::DiurnalTrace::new(60, 30.0, 600.0, 1, 0.0, 0.0, 1.0, 2);
         let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
             .seed(2)
             .build(&trace);
@@ -992,7 +998,10 @@ mod tests {
         let outcome = run_proteus(100.0, 10);
         let s = outcome.metrics.summary();
         let total_queries: u64 = outcome.device_stats.iter().map(|d| d.queries).sum();
-        assert_eq!(total_queries, s.total_served, "every served query ran in some batch");
+        assert_eq!(
+            total_queries, s.total_served,
+            "every served query ran in some batch"
+        );
         let busiest = outcome
             .device_stats
             .iter()

@@ -125,7 +125,11 @@ impl Worker {
     ///
     /// Panics if fewer than `n` queries are queued.
     pub fn take_front(&mut self, n: usize) -> Vec<Query> {
-        assert!(n <= self.queue.len(), "cannot take {n} of {}", self.queue.len());
+        assert!(
+            n <= self.queue.len(),
+            "cannot take {n} of {}",
+            self.queue.len()
+        );
         self.queue.drain(..n).collect()
     }
 
@@ -215,7 +219,10 @@ mod tests {
             w.enqueue(query(i)).unwrap();
         }
         let batch = w.take_front(3);
-        assert_eq!(batch.iter().map(|q| q.id.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            batch.iter().map(|q| q.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(w.queue_len(), 2);
         let rest = w.drain_queue();
         assert_eq!(rest.len(), 2);

@@ -170,8 +170,8 @@ fn load_window_delays_but_does_not_lose_queries() {
     // load window must show up as a violation bump.
     let mut cfg = config();
     cfg.load_base_secs = 2.0; // make the swap window pronounced
-    // Upgrade to b4 (peak ~83 QPS on a V100), which still covers the
-    // 30 QPS offered load after the swap.
+                              // Upgrade to b4 (peak ~83 QPS on a V100), which still covers the
+                              // 30 QPS offered load after the swap.
     let mut system = ServingSystem::new(
         cfg,
         Box::new(ScriptedAllocator::new(vec![

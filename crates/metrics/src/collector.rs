@@ -97,7 +97,13 @@ impl MetricsCollector {
 
     /// Records a completed query: `accuracy` is the serving variant's
     /// normalized accuracy, `on_time` whether the response met its SLO.
-    pub fn record_served(&mut self, at: SimTime, family: ModelFamily, accuracy: f64, on_time: bool) {
+    pub fn record_served(
+        &mut self,
+        at: SimTime,
+        family: ModelFamily,
+        accuracy: f64,
+        on_time: bool,
+    ) {
         let cell = self.cell(at, family);
         if on_time {
             cell.served_on_time += 1;
@@ -166,7 +172,10 @@ impl MetricsCollector {
 
     /// The bucket for one `(interval, family)` cell.
     pub fn family_bucket(&self, index: u64, family: ModelFamily) -> Bucket {
-        self.cells.get(&(index, family)).copied().unwrap_or_default()
+        self.cells
+            .get(&(index, family))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Aggregate timeseries over all buckets, one entry per interval.

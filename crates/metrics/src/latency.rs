@@ -86,8 +86,7 @@ impl LatencyHistogram {
 
     /// Mean latency, or `None` when empty.
     pub fn mean(&self) -> Option<SimTime> {
-        (self.total > 0)
-            .then(|| SimTime::from_nanos((self.sum_nanos / self.total as f64) as u64))
+        (self.total > 0).then(|| SimTime::from_nanos((self.sum_nanos / self.total as f64) as u64))
     }
 
     /// Largest recorded latency (exact, not bucketed).

@@ -189,7 +189,10 @@ mod tests {
         assert_eq!(fams.len(), 2);
         let gpt = fams.iter().find(|f| f.family == ModelFamily::Gpt2).unwrap();
         assert_eq!(gpt.summary.slo_violation_ratio, 1.0);
-        let res = fams.iter().find(|f| f.family == ModelFamily::ResNet).unwrap();
+        let res = fams
+            .iter()
+            .find(|f| f.family == ModelFamily::ResNet)
+            .unwrap();
         assert_eq!(res.summary.slo_violation_ratio, 0.0);
         assert!(FamilySummary::from_collector(&m, ModelFamily::T5).is_none());
     }

@@ -26,7 +26,9 @@ fn replay(events: &[Ev], interval: SimTime) -> MetricsCollector {
     let mut m = MetricsCollector::new(interval);
     for e in events {
         match *e {
-            Ev::Arrive(t, f) => m.record_arrival(SimTime::from_millis(t), ModelFamily::from_index(f)),
+            Ev::Arrive(t, f) => {
+                m.record_arrival(SimTime::from_millis(t), ModelFamily::from_index(f))
+            }
             Ev::Serve(t, f, a, on) => {
                 m.record_served(SimTime::from_millis(t), ModelFamily::from_index(f), a, on)
             }

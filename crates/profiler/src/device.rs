@@ -215,7 +215,10 @@ mod tests {
         let c = Cluster::with_counts(2, 1, 1);
         let ids: Vec<u32> = c.iter().map(|d| d.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
-        assert_eq!(c.device(DeviceId(2)).unwrap().device_type, DeviceType::Gtx1080Ti);
+        assert_eq!(
+            c.device(DeviceId(2)).unwrap().device_type,
+            DeviceType::Gtx1080Ti
+        );
         assert!(c.device(DeviceId(99)).is_none());
     }
 

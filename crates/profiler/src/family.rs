@@ -67,7 +67,10 @@ impl ModelFamily {
     /// Transformers pay an extra latency penalty on CPUs in the synthetic
     /// latency model (poor cache behaviour of large matmuls).
     pub fn is_transformer(self) -> bool {
-        matches!(self, ModelFamily::Bert | ModelFamily::T5 | ModelFamily::Gpt2)
+        matches!(
+            self,
+            ModelFamily::Bert | ModelFamily::T5 | ModelFamily::Gpt2
+        )
     }
 
     /// The inference task (the "application" the paper registers).

@@ -154,7 +154,11 @@ impl ProfileStore {
     }
 
     /// Profiles with an explicit latency model.
-    pub fn build_with_model(zoo: &ModelZoo, policy: SloPolicy, latency_model: LatencyModel) -> Self {
+    pub fn build_with_model(
+        zoo: &ModelZoo,
+        policy: SloPolicy,
+        latency_model: LatencyModel,
+    ) -> Self {
         let mut slos_ms = HashMap::new();
         for family in zoo.families() {
             // SLO = multiplier × batch-1 CPU latency of the family's fastest
@@ -317,9 +321,13 @@ mod tests {
                     if p.max_batch() < MAX_BATCH {
                         let next = p.max_batch() + 1;
                         let slo_ok = p.latency(next) <= slo / 2.0;
-                        let mem_ok = zoo.variant(v.id()).unwrap().memory_at_batch(next)
-                            <= d.memory_mib();
-                        assert!(!(slo_ok && mem_ok), "max_batch not maximal for {}", v.name());
+                        let mem_ok =
+                            zoo.variant(v.id()).unwrap().memory_at_batch(next) <= d.memory_mib();
+                        assert!(
+                            !(slo_ok && mem_ok),
+                            "max_batch not maximal for {}",
+                            v.name()
+                        );
                     }
                 }
             }
@@ -335,7 +343,10 @@ mod tests {
         for family in ModelFamily::ALL {
             let fastest = zoo.fastest(family).unwrap();
             let p = store.profile(fastest.id(), DeviceType::Cpu).unwrap();
-            assert!(p.is_feasible(), "{family} fastest variant infeasible on CPU");
+            assert!(
+                p.is_feasible(),
+                "{family} fastest variant infeasible on CPU"
+            );
         }
     }
 
@@ -360,7 +371,11 @@ mod tests {
     fn peak_throughput_decreases_with_accuracy_on_v100() {
         let zoo = ModelZoo::paper_table3();
         let store = store();
-        for family in [ModelFamily::EfficientNet, ModelFamily::ResNet, ModelFamily::T5] {
+        for family in [
+            ModelFamily::EfficientNet,
+            ModelFamily::ResNet,
+            ModelFamily::T5,
+        ] {
             let peaks: Vec<f64> = zoo
                 .variants_of(family)
                 .map(|v| store.peak_qps(v.id(), DeviceType::V100))
@@ -396,7 +411,10 @@ mod tests {
         let store = store();
         let xl = zoo.most_accurate(ModelFamily::Gpt2).unwrap().id();
         assert!(store.profile(xl, DeviceType::V100).unwrap().is_feasible());
-        assert!(!store.profile(xl, DeviceType::Gtx1080Ti).unwrap().is_feasible());
+        assert!(!store
+            .profile(xl, DeviceType::Gtx1080Ti)
+            .unwrap()
+            .is_feasible());
         assert!(!store.profile(xl, DeviceType::Cpu).unwrap().is_feasible());
     }
 

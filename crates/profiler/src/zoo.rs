@@ -229,7 +229,9 @@ impl ModelZoo {
                 // Activation memory per batched item scales with model size,
                 // floored at 2 MiB for the tiniest models.
                 let per_item = (memory / 40.0).max(2.0);
-                zoo.register(VariantSpec::new(id, name, accuracy, latency, memory, per_item));
+                zoo.register(VariantSpec::new(
+                    id, name, accuracy, latency, memory, per_item,
+                ));
             }
         }
         zoo
@@ -284,7 +286,10 @@ mod tests {
         for family in ModelFamily::ALL {
             let accs: Vec<f64> = zoo.variants_of(family).map(|v| v.accuracy()).collect();
             for w in accs.windows(2) {
-                assert!(w[0] < w[1], "{family} accuracies must be strictly increasing");
+                assert!(
+                    w[0] < w[1],
+                    "{family} accuracies must be strictly increasing"
+                );
             }
         }
     }

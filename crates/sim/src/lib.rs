@@ -211,7 +211,10 @@ mod tests {
         sim.schedule(secs(2.0), 2);
         let mut rec = Recorder { seen: vec![] };
         sim.run(&mut rec);
-        assert_eq!(rec.seen, vec![(secs(1.0), 1), (secs(2.0), 2), (secs(3.0), 3)]);
+        assert_eq!(
+            rec.seen,
+            vec![(secs(1.0), 1), (secs(2.0), 2), (secs(3.0), 3)]
+        );
         assert_eq!(sim.delivered(), 3);
     }
 

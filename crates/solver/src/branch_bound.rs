@@ -1,22 +1,77 @@
 //! Branch & bound over the integer variables of a [`LinearProgram`].
+//!
+//! Each node's LP relaxation differs from its parent's in a single variable
+//! bound, so instead of paying a cold two-phase simplex per node, the search
+//! keeps one [`simplex::Workspace`] alive for the whole tree and re-optimizes
+//! every node from the most recently solved basis with dual-simplex pivots.
+//! The cold solve remains as a fallback when the warm basis cannot be
+//! repaired; [`SolveStats`] reports how often each path ran.
+
+use std::time::{Duration, Instant};
 
 use crate::problem::{LinearProgram, Sense, Solution, SolveError};
-use crate::simplex;
+use crate::simplex::{WarmResult, Workspace};
 
 /// Integrality tolerance: values this close to an integer are accepted.
 const INT_TOL: f64 = 1e-6;
 
-/// Statistics of one MILP solve, for the Fig. 10 overhead study.
+/// Statistics of one MILP solve, for the Fig. 10 overhead study and the
+/// controller's per-replan report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolveStats {
     /// Branch-and-bound nodes explored (LP relaxations solved).
     pub nodes: u64,
     /// Nodes pruned by the best-bound test.
     pub pruned: u64,
+    /// Simplex iterations (primal + dual pivots and bound flips) across
+    /// every relaxation.
+    pub simplex_iterations: u64,
+    /// Node relaxations re-optimized from the parent basis via the dual
+    /// simplex (or a primal cleanup) instead of a cold two-phase solve.
+    pub warm_starts: u64,
+    /// Node relaxations that paid the cold two-phase solve.
+    pub cold_solves: u64,
+    /// Wall-clock time of the whole solve.
+    pub wall: Duration,
+}
+
+impl SolveStats {
+    /// Wall-clock seconds of the whole solve.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Fraction of node relaxations served warm (`0.0` when none ran).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_starts + self.cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_starts as f64 / total as f64
+        }
+    }
+
+    /// Accumulates `other` (used by the allocation layer to merge the
+    /// stats of successive shrink-and-retry rounds).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.pruned += other.pruned;
+        self.simplex_iterations += other.simplex_iterations;
+        self.warm_starts += other.warm_starts;
+        self.cold_solves += other.cold_solves;
+        self.wall += other.wall;
+    }
+}
+
+impl std::ops::AddAssign for SolveStats {
+    fn add_assign(&mut self, rhs: SolveStats) {
+        self.absorb(&rhs);
+    }
 }
 
 /// An exact MILP solver: LP relaxations via [`simplex`], depth-first branch
-/// & bound with most-fractional branching and best-bound pruning.
+/// & bound with most-fractional branching, best-bound pruning and
+/// warm-started node relaxations.
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
@@ -31,6 +86,10 @@ pub struct MilpSolver {
     /// magnitude), combined with the absolute gap via `max`. Standard MIP
     /// practice; `0.0` demands exact optima.
     pub relative_gap: f64,
+    /// Re-optimize each node from the previous basis via dual-simplex
+    /// pivots. Disable to force a cold solve per node (the property tests
+    /// compare both paths; there is no other reason to turn this off).
+    pub warm_start: bool,
 }
 
 impl Default for MilpSolver {
@@ -39,6 +98,7 @@ impl Default for MilpSolver {
             max_nodes: 200_000,
             gap_tolerance: 1e-6,
             relative_gap: 0.0,
+            warm_start: true,
         }
     }
 }
@@ -115,20 +175,50 @@ impl MilpSolver {
         lp: &LinearProgram,
         hint: Option<&[f64]>,
     ) -> Result<(Solution, SolveStats), SolveError> {
+        let (result, stats) = self.solve_attempt(lp, hint);
+        result.map(|s| (s, stats))
+    }
+
+    /// Like [`solve_with_hint`](Self::solve_with_hint) but always returns
+    /// the search statistics, even when the solve fails — the allocation
+    /// layer accumulates the cost of failed shrink rounds too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hint's length differs from the number of variables.
+    pub fn solve_attempt(
+        &self,
+        lp: &LinearProgram,
+        hint: Option<&[f64]>,
+    ) -> (Result<Solution, SolveError>, SolveStats) {
+        let start = Instant::now();
+        let mut stats = SolveStats::default();
+        let result = self.branch_and_bound(lp, hint, &mut stats);
+        stats.wall = start.elapsed();
+        (result, stats)
+    }
+
+    fn branch_and_bound(
+        &self,
+        lp: &LinearProgram,
+        hint: Option<&[f64]>,
+        stats: &mut SolveStats,
+    ) -> Result<Solution, SolveError> {
         let maximize = lp.sense() == Sense::Maximize;
         let better = |a: f64, b: f64| if maximize { a > b } else { a < b };
 
-        let root_bounds: Vec<(f64, f64)> = (0..lp.num_variables())
-            .map(|i| lp.bounds(crate::VarId(i)))
-            .collect();
+        let root_bounds = lp.all_bounds();
+        let mut ws = Workspace::new();
 
         // Fast path: pure LP.
         if lp.num_integers() == 0 {
-            let sol = simplex::solve_with_bounds(lp, &root_bounds)?;
-            return Ok((sol, SolveStats { nodes: 1, pruned: 0 }));
+            stats.nodes = 1;
+            stats.cold_solves = 1;
+            let result = ws.cold_solve(lp, &root_bounds).map(|()| ws.extract(lp));
+            stats.simplex_iterations = ws.iterations;
+            return result;
         }
 
-        let mut stats = SolveStats::default();
         let mut incumbent: Option<Solution> = None;
         if let Some(hint) = hint {
             assert_eq!(hint.len(), lp.num_variables(), "hint length mismatch");
@@ -143,6 +233,7 @@ impl MilpSolver {
                 incumbent = Some(Solution { values, objective });
             }
         }
+
         // DFS stack of bound boxes.
         let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
 
@@ -151,10 +242,13 @@ impl MilpSolver {
                 break;
             }
             stats.nodes += 1;
-            let relax = match simplex::solve_with_bounds(lp, &bounds) {
+            let relax = match self.relax(lp, &bounds, &mut ws, stats) {
                 Ok(s) => s,
                 Err(SolveError::Infeasible) => continue,
-                Err(e) => return Err(e),
+                Err(e) => {
+                    stats.simplex_iterations = ws.iterations;
+                    return Err(e);
+                }
             };
 
             // Best-bound pruning: the relaxation bounds every integer point
@@ -184,7 +278,9 @@ impl MilpSolver {
 
             match frac_var {
                 None => {
-                    // Integer feasible: snap and accept if it improves.
+                    // Integer feasible: snap and accept if it improves. The
+                    // feasibility re-check guards against round-off drift in
+                    // long warm-start chains.
                     let mut values = relax.values().to_vec();
                     for (i, v) in values.iter_mut().enumerate() {
                         if lp.is_integer(crate::VarId(i)) {
@@ -192,9 +288,10 @@ impl MilpSolver {
                         }
                     }
                     let objective = lp.objective_value(&values);
-                    if incumbent
-                        .as_ref()
-                        .is_none_or(|inc| better(objective, inc.objective()))
+                    if lp.is_feasible(&values, 1e-6)
+                        && incumbent
+                            .as_ref()
+                            .is_none_or(|inc| better(objective, inc.objective()))
                     {
                         incumbent = Some(Solution { values, objective });
                     }
@@ -234,7 +331,7 @@ impl MilpSolver {
                                 }
                             }
                             stats.nodes += 1;
-                            if let Ok(sol) = simplex::solve_with_bounds(lp, &dive) {
+                            if let Ok(sol) = self.relax(lp, &dive, &mut ws, stats) {
                                 let mut values = sol.values().to_vec();
                                 for (i, v) in values.iter_mut().enumerate() {
                                     if lp.is_integer(crate::VarId(i)) {
@@ -243,9 +340,10 @@ impl MilpSolver {
                                 }
                                 let objective = lp.objective_value(&values);
                                 if lp.is_feasible(&values, 1e-6) {
-                                    let improves = incumbent.as_ref().is_none_or(
-                                        |inc: &Solution| better(objective, inc.objective()),
-                                    );
+                                    let improves =
+                                        incumbent.as_ref().is_none_or(|inc: &Solution| {
+                                            better(objective, inc.objective())
+                                        });
                                     if improves {
                                         incumbent = Some(Solution { values, objective });
                                     }
@@ -267,11 +365,40 @@ impl MilpSolver {
             }
         }
 
+        stats.simplex_iterations = ws.iterations;
         match incumbent {
-            Some(sol) => Ok((sol, stats)),
+            Some(sol) => Ok(sol),
             None if stats.nodes >= self.max_nodes => Err(SolveError::NodeLimit),
             None => Err(SolveError::Infeasible),
         }
+    }
+
+    /// Solves one node relaxation, warm when possible, recording which path
+    /// ran. The workspace always holds a consistent basis afterwards unless
+    /// the solve failed hard.
+    fn relax(
+        &self,
+        lp: &LinearProgram,
+        bounds: &[(f64, f64)],
+        ws: &mut Workspace,
+        stats: &mut SolveStats,
+    ) -> Result<Solution, SolveError> {
+        if self.warm_start {
+            match ws.warm_solve(bounds) {
+                WarmResult::Solved => {
+                    stats.warm_starts += 1;
+                    return Ok(ws.extract(lp));
+                }
+                WarmResult::Infeasible => {
+                    stats.warm_starts += 1;
+                    return Err(SolveError::Infeasible);
+                }
+                WarmResult::NeedCold => {}
+            }
+        }
+        stats.cold_solves += 1;
+        ws.cold_solve(lp, bounds)?;
+        Ok(ws.extract(lp))
     }
 }
 
@@ -348,7 +475,10 @@ mod tests {
         let _x = lp.add_integer("x", 0.0, 1.0, 1.0);
         lp.add_constraint(vec![(crate::VarId(0), 1.0)], Relation::Ge, 0.4);
         lp.add_constraint(vec![(crate::VarId(0), 1.0)], Relation::Le, 0.6);
-        assert_eq!(MilpSolver::default().solve(&lp), Err(SolveError::Infeasible));
+        assert_eq!(
+            MilpSolver::default().solve(&lp),
+            Err(SolveError::Infeasible)
+        );
     }
 
     #[test]
@@ -371,6 +501,7 @@ mod tests {
         let (s, stats) = MilpSolver::default().solve_with_stats(&lp).unwrap();
         assert_close(s.value(x), 7.0);
         assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.cold_solves, 1);
     }
 
     #[test]
@@ -440,9 +571,94 @@ mod tests {
         for i in 0..8 {
             vars.push(lp.add_binary(format!("b{i}"), (i + 1) as f64));
         }
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (i + 2) as f64)).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 2) as f64))
+            .collect();
         lp.add_constraint(terms, Relation::Le, 17.0);
         let (_, stats) = MilpSolver::default().solve_with_stats(&lp).unwrap();
         assert!(stats.nodes >= 1);
+        assert!(stats.simplex_iterations >= 1);
+        assert_eq!(stats.nodes, stats.warm_starts + stats.cold_solves);
+    }
+
+    #[test]
+    fn warm_starts_dominate_on_branchy_problems() {
+        // Two coupled packing rows force real branching; after the root's
+        // cold solve, most nodes should re-optimize warm.
+        let mut lp = LinearProgram::maximize();
+        let mut vars = vec![];
+        for i in 0..10 {
+            vars.push(lp.add_integer(format!("n{i}"), 0.0, 4.0, ((i * 7) % 5 + 1) as f64));
+        }
+        let t1: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 11) % 4 + 1) as f64))
+            .collect();
+        let t2: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 5 + 1) % 3 + 1) as f64))
+            .collect();
+        lp.add_constraint(t1, Relation::Le, 19.0);
+        lp.add_constraint(t2, Relation::Le, 11.0);
+        let (_, stats) = MilpSolver::default().solve_with_stats(&lp).unwrap();
+        assert!(stats.nodes > 4, "expected real branching, got {stats:?}");
+        assert!(
+            stats.warm_starts > stats.cold_solves,
+            "warm starts should dominate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn warm_and_cold_agree() {
+        let mut lp = LinearProgram::maximize();
+        let mut vars = vec![];
+        for i in 0..10 {
+            vars.push(lp.add_integer(format!("n{i}"), 0.0, 4.0, ((i * 7) % 5 + 1) as f64));
+        }
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 11) % 4 + 1) as f64))
+            .collect();
+        lp.add_constraint(terms, Relation::Le, 19.0);
+        let warm = MilpSolver::default().solve(&lp).unwrap();
+        let cold_solver = MilpSolver {
+            warm_start: false,
+            ..MilpSolver::default()
+        };
+        let cold = cold_solver.solve(&lp).unwrap();
+        assert_close(warm.objective(), cold.objective());
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = SolveStats {
+            nodes: 3,
+            pruned: 1,
+            simplex_iterations: 40,
+            warm_starts: 2,
+            cold_solves: 1,
+            wall: Duration::from_millis(5),
+        };
+        let b = SolveStats {
+            nodes: 2,
+            pruned: 0,
+            simplex_iterations: 10,
+            warm_starts: 1,
+            cold_solves: 1,
+            wall: Duration::from_millis(3),
+        };
+        a += b;
+        assert_eq!(a.nodes, 5);
+        assert_eq!(a.simplex_iterations, 50);
+        assert_eq!(a.warm_starts, 3);
+        assert_eq!(a.cold_solves, 2);
+        assert_eq!(a.wall, Duration::from_millis(8));
+        assert!((a.warm_hit_rate() - 0.6).abs() < 1e-12);
+        assert!(a.wall_secs() > 0.0);
     }
 }

@@ -7,11 +7,17 @@
 //!
 //! * [`LinearProgram`] — a builder for LPs/MILPs: bounded variables
 //!   (continuous or integer), linear constraints, max/min objective.
-//! * [`simplex`] — a dense-tableau, two-phase primal simplex with a Bland's
-//!   rule anti-cycling fallback.
+//! * [`simplex`] — a bounded-variable primal/dual simplex on a flat dense
+//!   tableau: finite bounds are handled implicitly (nonbasic-at-lower /
+//!   nonbasic-at-upper) instead of as extra rows, with a Bland's-rule
+//!   anti-cycling fallback.
 //! * [`MilpSolver`] — branch & bound over the integer variables with
-//!   most-fractional branching, best-bound pruning and a rounding heuristic
-//!   for fast incumbents.
+//!   most-fractional branching, best-bound pruning, a rounding heuristic
+//!   for fast incumbents, and warm-started node relaxations: each node
+//!   re-optimizes from the previous node's basis via dual-simplex pivots,
+//!   falling back to a cold two-phase solve only when the basis cannot be
+//!   repaired. [`SolveStats`] reports nodes, pivots, warm-start hits and
+//!   wall time per solve.
 //!
 //! Both solvers are exact (up to floating-point tolerance), so the resource
 //! allocations they produce are the same global optima Gurobi would return

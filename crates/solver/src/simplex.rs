@@ -1,21 +1,85 @@
-//! Two-phase dense-tableau primal simplex.
+//! Bounded-variable primal/dual simplex on a flat dense tableau.
 //!
 //! Solves the continuous relaxation of a [`LinearProgram`] exactly (up to
 //! floating-point tolerance). Integrality markers are ignored here; the
 //! branch-and-bound layer enforces them.
 //!
-//! The implementation is the textbook algorithm: variables are shifted to
-//! non-negativity, finite upper bounds become explicit rows, `≥`/`=` rows
-//! receive artificial variables, phase 1 minimizes the artificial sum, and
-//! phase 2 optimizes the real objective with artificial columns banned.
-//! Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
-//! after an iteration threshold to guarantee termination on degenerate
-//! problems.
+//! Unlike the textbook standard-form reduction, finite variable bounds are
+//! handled *implicitly*: a nonbasic variable rests at its lower or its upper
+//! bound (`AtLower` / `AtUpper`) and no constraint row is materialized per
+//! bound. For the Proteus per-device formulation — hundreds of `[0, 1]`
+//! placement binaries — this roughly halves the row count compared to the
+//! previous implementation, and the tableau is a single row-major `Vec<f64>`
+//! so every pivot is one contiguous sweep.
+//!
+//! Every constraint row is converted to an equality with a bounded slack
+//! (`≤` → slack in `[0, ∞)` with coefficient `+1`, `≥` → slack in `[0, ∞)`
+//! with coefficient `−1`, `=` → slack fixed at `[0, 0]`). A crash basis makes
+//! each slack basic where its implied value fits its bounds and adds an
+//! artificial column otherwise; phase 1 drives the artificials to zero,
+//! phase 2 optimizes the real objective. Pivoting uses Dantzig's rule with
+//! an automatic switch to Bland's rule after an iteration threshold to
+//! guarantee termination on degenerate problems.
+//!
+//! The crate-internal [`Workspace`] additionally supports *warm restarts*:
+//! after an optimal solve, the caller may change variable bounds and
+//! re-optimize with dual-simplex pivots from the previous basis instead of
+//! paying a cold two-phase solve. Branch & bound uses this to re-solve each
+//! node from its parent's basis in a handful of pivots.
 
-use crate::problem::{Constraint, LinearProgram, Relation, Sense, Solution, SolveError};
+use crate::problem::{LinearProgram, Sense, Solution, SolveError};
 
-/// Tolerance for pivoting and feasibility decisions.
+/// Tolerance for pivoting and reduced-cost decisions.
 const EPS: f64 = 1e-9;
+/// Tolerance for primal bound violations (dual-simplex leaving test) and
+/// phase-1 infeasibility.
+const FEAS_TOL: f64 = 1e-7;
+/// Tolerance for dual infeasibility when deciding whether a warm basis can
+/// be repaired by the dual simplex.
+const DUAL_TOL: f64 = 1e-7;
+/// Warm solves between forced cold refreshes (bounds incremental updates
+/// accumulate round-off; a periodic rebuild keeps the tableau honest).
+const REFRESH_EVERY: u32 = 64;
+
+/// Where a column currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColState {
+    /// In the basis; its value lives in `xb`.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+}
+
+/// Outcome of one primal-simplex phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrimalOutcome {
+    Optimal,
+    Unbounded,
+    /// Iteration cap hit — numerical trouble, caller falls back.
+    Stalled,
+}
+
+/// Outcome of a dual-simplex repair run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualOutcome {
+    Optimal,
+    /// Dual unbounded ⇒ primal infeasible under the current bounds.
+    Infeasible,
+    Stalled,
+}
+
+/// Outcome of a warm restart attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarmResult {
+    /// Re-optimized from the previous basis; solution ready to extract.
+    Solved,
+    /// The new bounds admit no feasible point.
+    Infeasible,
+    /// The warm basis could not be repaired — caller must cold-solve.
+    NeedCold,
+}
 
 /// Solves the LP relaxation of `lp`.
 ///
@@ -35,10 +99,7 @@ const EPS: f64 = 1e-9;
 /// assert!((sol.value(x) - 3.0).abs() < 1e-9);
 /// ```
 pub fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
-    let bounds: Vec<(f64, f64)> = (0..lp.num_variables())
-        .map(|i| lp.bounds(crate::VarId(i)))
-        .collect();
-    solve_with_bounds(lp, &bounds)
+    solve_with_bounds(lp, &lp.all_bounds())
 }
 
 /// Solves the LP relaxation with per-variable bound overrides (used by
@@ -56,524 +117,703 @@ pub fn solve_with_bounds(
     lp: &LinearProgram,
     bounds: &[(f64, f64)],
 ) -> Result<Solution, SolveError> {
-    assert_eq!(bounds.len(), lp.num_variables(), "bounds length mismatch");
-    for &(l, u) in bounds {
-        assert!(l.is_finite(), "lower bounds must be finite");
-        if l > u {
-            // An empty box is trivially infeasible; branch & bound produces
-            // these when it fixes a variable beyond its range.
-            return Err(SolveError::Infeasible);
+    let mut ws = Workspace::new();
+    ws.cold_solve(lp, bounds)?;
+    Ok(ws.extract(lp))
+}
+
+/// A reusable simplex state: tableau, basis and reduced costs survive
+/// between solves so that a bound change can be re-optimized warm.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Workspace {
+    tab: Option<Tab>,
+    /// Simplex iterations across all solves (primal + dual, all phases).
+    pub iterations: u64,
+    /// Warm solves since the last cold rebuild.
+    since_cold: u32,
+}
+
+impl Workspace {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cold two-phase solve from scratch; on success the workspace holds an
+    /// optimal basis for `bounds` and is ready for [`warm_solve`].
+    ///
+    /// [`warm_solve`]: Self::warm_solve
+    pub(crate) fn cold_solve(
+        &mut self,
+        lp: &LinearProgram,
+        bounds: &[(f64, f64)],
+    ) -> Result<(), SolveError> {
+        assert_eq!(bounds.len(), lp.num_variables(), "bounds length mismatch");
+        for &(l, u) in bounds {
+            assert!(l.is_finite(), "lower bounds must be finite");
+            if l > u {
+                // An empty box is trivially infeasible; branch & bound
+                // produces these when it fixes a variable beyond its range.
+                self.tab = None;
+                return Err(SolveError::Infeasible);
+            }
+        }
+        self.since_cold = 0;
+        let mut tab = Tab::build(lp, bounds);
+
+        // Phase 1: maximize -(sum of artificials) until they reach zero.
+        if tab.ncols > tab.art_start {
+            let mut phase1 = vec![0.0; tab.ncols];
+            for c in phase1.iter_mut().skip(tab.art_start) {
+                *c = -1.0;
+            }
+            match tab.primal(&phase1, &mut self.iterations) {
+                PrimalOutcome::Optimal => {}
+                // The phase-1 objective is bounded above by zero; both other
+                // outcomes signal numerical trouble. Treat as infeasible
+                // rather than hanging, matching the previous implementation.
+                PrimalOutcome::Unbounded | PrimalOutcome::Stalled => {
+                    self.tab = None;
+                    return Err(SolveError::Infeasible);
+                }
+            }
+            let infeasibility: f64 = (0..tab.m)
+                .filter(|&r| tab.basis[r] >= tab.art_start)
+                .map(|r| tab.xb[r].max(0.0))
+                .sum();
+            if infeasibility > FEAS_TOL {
+                self.tab = None;
+                return Err(SolveError::Infeasible);
+            }
+            tab.retire_artificials();
+        }
+
+        // Phase 2: the real objective.
+        let cost = tab.cost.clone();
+        match tab.primal(&cost, &mut self.iterations) {
+            PrimalOutcome::Optimal => {}
+            PrimalOutcome::Unbounded => {
+                self.tab = None;
+                return Err(SolveError::Unbounded);
+            }
+            PrimalOutcome::Stalled => {
+                self.tab = None;
+                return Err(SolveError::Infeasible);
+            }
+        }
+        self.tab = Some(tab);
+        Ok(())
+    }
+
+    /// Re-optimizes after a bound change, starting from the previous optimal
+    /// basis. Repair order: dual simplex when the basis is still dual
+    /// feasible, primal phase 2 when it is still primal feasible, otherwise
+    /// [`WarmResult::NeedCold`].
+    pub(crate) fn warm_solve(&mut self, bounds: &[(f64, f64)]) -> WarmResult {
+        for &(l, u) in bounds {
+            if l > u {
+                return WarmResult::Infeasible;
+            }
+        }
+        if self.since_cold >= REFRESH_EVERY {
+            return WarmResult::NeedCold;
+        }
+        let Some(tab) = self.tab.as_mut() else {
+            return WarmResult::NeedCold;
+        };
+        if tab.n != bounds.len() {
+            return WarmResult::NeedCold;
+        }
+        tab.apply_bounds(bounds);
+
+        if tab.dual_feasible() {
+            match tab.dual(&mut self.iterations) {
+                DualOutcome::Optimal => {
+                    self.since_cold += 1;
+                    WarmResult::Solved
+                }
+                // The tableau still holds a consistent basis; the next node
+                // may warm-start from it.
+                DualOutcome::Infeasible => {
+                    self.since_cold += 1;
+                    WarmResult::Infeasible
+                }
+                DualOutcome::Stalled => {
+                    self.tab = None;
+                    WarmResult::NeedCold
+                }
+            }
+        } else if tab.primal_feasible() {
+            let cost = tab.cost.clone();
+            match tab.primal(&cost, &mut self.iterations) {
+                PrimalOutcome::Optimal => {
+                    self.since_cold += 1;
+                    WarmResult::Solved
+                }
+                PrimalOutcome::Unbounded | PrimalOutcome::Stalled => {
+                    self.tab = None;
+                    WarmResult::NeedCold
+                }
+            }
+        } else {
+            WarmResult::NeedCold
         }
     }
-    let maximize = lp.sense() == Sense::Maximize;
-    let n = lp.num_variables();
 
-    // Shift x = l + x'. Collect rows: original constraints plus upper-bound
-    // rows for finite upper bounds.
-    struct Row {
-        terms: Vec<(usize, f64)>,
-        relation: Relation,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::with_capacity(lp.constraints.len() + n);
-    for Constraint {
-        terms,
-        relation,
-        rhs,
-    } in &lp.constraints
-    {
-        let shift: f64 = terms.iter().map(|&(v, c)| c * bounds[v.0].0).sum();
-        rows.push(Row {
-            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
-            relation: *relation,
-            rhs: rhs - shift,
-        });
-    }
-    for (i, &(l, u)) in bounds.iter().enumerate() {
-        if u.is_finite() && u - l > EPS {
-            rows.push(Row {
-                terms: vec![(i, 1.0)],
-                relation: Relation::Le,
-                rhs: u - l,
-            });
-        } else if u.is_finite() {
-            // Fixed variable: x' = u - l (≈ 0). Represent as equality so the
-            // solution reports the exact fixed value.
-            rows.push(Row {
-                terms: vec![(i, 1.0)],
-                relation: Relation::Eq,
-                rhs: u - l,
-            });
-        }
-    }
-
-    // Objective in maximize form over shifted variables.
-    let mut cost: Vec<f64> = (0..n)
-        .map(|i| {
-            let c = lp.variables[i].objective;
-            if maximize {
-                c
-            } else {
-                -c
-            }
-        })
-        .collect();
-    let offset: f64 = (0..n)
-        .map(|i| lp.variables[i].objective * bounds[i].0)
-        .sum();
-
-    // Normalize rhs >= 0, count slack/artificial columns.
-    let m = rows.len();
-    let mut n_slack = 0;
-    let mut n_art = 0;
-    for row in &mut rows {
-        if row.rhs < 0.0 {
-            for (_, c) in &mut row.terms {
-                *c = -*c;
-            }
-            row.rhs = -row.rhs;
-            row.relation = match row.relation {
-                Relation::Le => Relation::Ge,
-                Relation::Ge => Relation::Le,
-                Relation::Eq => Relation::Eq,
+    /// Reads the optimal solution out of the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve has succeeded.
+    pub(crate) fn extract(&self, lp: &LinearProgram) -> Solution {
+        let tab = self.tab.as_ref().expect("extract() before a solve");
+        let mut values = vec![0.0f64; tab.n];
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = match tab.state[j] {
+                ColState::AtLower => tab.lower[j],
+                ColState::AtUpper => tab.upper[j],
+                ColState::Basic => {
+                    let r = (0..tab.m)
+                        .find(|&r| tab.basis[r] == j)
+                        .expect("basic column missing from basis");
+                    tab.xb[r]
+                }
             };
-        }
-        match row.relation {
-            Relation::Le => n_slack += 1,
-            Relation::Ge => {
-                n_slack += 1;
-                n_art += 1;
+            // Snap float dust onto the box.
+            if (*value - tab.lower[j]).abs() < 1e-9 {
+                *value = tab.lower[j];
             }
-            Relation::Eq => n_art += 1,
-        }
-    }
-
-    let total = n + n_slack + n_art;
-    let mut tab = vec![vec![0.0f64; total + 1]; m];
-    let mut basis = vec![0usize; m];
-    let art_start = n + n_slack;
-    {
-        let mut slack_i = n;
-        let mut art_i = art_start;
-        for (r, row) in rows.iter().enumerate() {
-            for &(v, c) in &row.terms {
-                tab[r][v] += c;
-            }
-            tab[r][total] = row.rhs;
-            match row.relation {
-                Relation::Le => {
-                    tab[r][slack_i] = 1.0;
-                    basis[r] = slack_i;
-                    slack_i += 1;
-                }
-                Relation::Ge => {
-                    tab[r][slack_i] = -1.0;
-                    slack_i += 1;
-                    tab[r][art_i] = 1.0;
-                    basis[r] = art_i;
-                    art_i += 1;
-                }
-                Relation::Eq => {
-                    tab[r][art_i] = 1.0;
-                    basis[r] = art_i;
-                    art_i += 1;
-                }
+            if tab.upper[j].is_finite() && (*value - tab.upper[j]).abs() < 1e-9 {
+                *value = tab.upper[j];
             }
         }
+        let objective = lp.objective_value(&values);
+        Solution { values, objective }
     }
-    cost.resize(total, 0.0);
-
-    let mut state = Tableau {
-        tab,
-        basis,
-        total,
-        banned_from: total, // nothing banned yet
-    };
-
-    // Phase 1: maximize -(sum of artificials).
-    if n_art > 0 {
-        let mut phase1_cost = vec![0.0; total];
-        for c in phase1_cost.iter_mut().take(total).skip(art_start) {
-            *c = -1.0;
-        }
-        let z = state.optimize(&phase1_cost)?;
-        if z < -1e-7 {
-            return Err(SolveError::Infeasible);
-        }
-        state.drive_out_artificials(art_start);
-        state.banned_from = art_start;
-    }
-
-    // Phase 2: the real objective.
-    state.optimize(&cost)?;
-
-    // Recover values of the original (shifted) variables.
-    let mut values = vec![0.0f64; n];
-    for (r, &b) in state.basis.iter().enumerate() {
-        if b < n {
-            values[b] = state.tab[r][state.total];
-        }
-    }
-    for (i, v) in values.iter_mut().enumerate() {
-        *v += bounds[i].0;
-        // Clean tiny negative noise and snap to bounds.
-        if (*v - bounds[i].0).abs() < 1e-9 {
-            *v = bounds[i].0;
-        }
-        if bounds[i].1.is_finite() && (*v - bounds[i].1).abs() < 1e-9 {
-            *v = bounds[i].1;
-        }
-    }
-    let objective = lp.objective_value(&values);
-    let _ = offset; // objective recomputed from values; offset kept for clarity
-    Ok(Solution { values, objective })
 }
 
-struct Tableau {
-    tab: Vec<Vec<f64>>,
+/// The flat dense tableau: `a` stores `B⁻¹A` row-major with stride `ncols`,
+/// basic values live separately in `xb`, and nonbasic columns rest at a
+/// bound recorded in `state`.
+#[derive(Debug, Clone)]
+struct Tab {
+    /// Constraint rows.
+    m: usize,
+    /// Structural (problem) columns; slacks follow at `n..n+m`, artificials
+    /// at `art_start..ncols`.
+    n: usize,
+    ncols: usize,
+    /// `m × ncols`, row-major.
+    a: Vec<f64>,
+    /// Value of the basic variable of each row.
+    xb: Vec<f64>,
+    /// Column index of the basic variable of each row.
     basis: Vec<usize>,
-    total: usize,
-    /// Columns `>= banned_from` may not enter the basis (phase-2 artificial
-    /// ban).
-    banned_from: usize,
+    state: Vec<ColState>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Real objective (internally always maximization).
+    cost: Vec<f64>,
+    /// Reduced costs for the most recent phase's cost vector; maintained
+    /// incrementally across pivots.
+    d: Vec<f64>,
+    art_start: usize,
 }
 
-impl Tableau {
-    /// Runs simplex iterations for the given cost vector (maximization).
-    /// Returns the final objective value of the phase.
-    fn optimize(&mut self, cost: &[f64]) -> Result<f64, SolveError> {
-        let m = self.tab.len();
-        // Reduced costs: r_j = c_j - c_B · B⁻¹ A_j, computed directly from
-        // the current tableau (which stores B⁻¹ A).
-        let mut reduced = vec![0.0f64; self.total];
-        let mut z = 0.0;
-        for j in 0..self.total {
-            let mut acc = cost[j];
-            for r in 0..m {
-                let cb = cost[self.basis[r]];
-                if cb != 0.0 {
-                    acc -= cb * self.tab[r][j];
+impl Tab {
+    /// Builds the equality-form tableau with a slack-first crash basis.
+    fn build(lp: &LinearProgram, bounds: &[(f64, f64)]) -> Tab {
+        let n = lp.num_variables();
+        let m = lp.num_constraints();
+        let maximize = lp.sense() == Sense::Maximize;
+
+        // Residual of each row with every structural variable resting at its
+        // lower bound (all lower bounds are finite by construction).
+        let mut residual: Vec<f64> = lp
+            .constraints
+            .iter()
+            .map(|c| {
+                let at_lower: f64 = c.terms.iter().map(|&(v, coef)| coef * bounds[v.0].0).sum();
+                c.rhs - at_lower
+            })
+            .collect();
+
+        // Decide per row whether its slack can be basic; count artificials.
+        // `slack_coef[r]` is the slack's column coefficient, `basic_val[r]`
+        // the crash value of whichever column ends up basic.
+        let mut slack_coef = vec![1.0f64; m];
+        let mut slack_basic = vec![false; m];
+        let mut art_coef: Vec<f64> = Vec::new();
+        let mut art_row: Vec<usize> = Vec::new();
+        let mut basic_val = vec![0.0f64; m];
+        for (r, c) in lp.constraints.iter().enumerate() {
+            use crate::problem::Relation::*;
+            let (coef, fits) = match c.relation {
+                Le => (1.0, residual[r] >= 0.0),
+                Ge => (-1.0, residual[r] <= 0.0),
+                Eq => (1.0, residual[r].abs() <= EPS),
+            };
+            slack_coef[r] = coef;
+            if fits {
+                slack_basic[r] = true;
+                basic_val[r] = residual[r] / coef;
+            } else {
+                // Slack rests at zero (its bound nearest the residual);
+                // an artificial with coefficient ±1 absorbs the rest.
+                let sign = if residual[r] >= 0.0 { 1.0 } else { -1.0 };
+                art_coef.push(sign);
+                art_row.push(r);
+                basic_val[r] = residual[r] / sign;
+                residual[r] = 0.0;
+            }
+        }
+        let n_art = art_coef.len();
+        let art_start = n + m;
+        let ncols = art_start + n_art;
+
+        let mut tab = Tab {
+            m,
+            n,
+            ncols,
+            a: vec![0.0; m * ncols],
+            xb: basic_val,
+            basis: vec![0; m],
+            state: vec![ColState::AtLower; ncols],
+            lower: vec![0.0; ncols],
+            upper: vec![f64::INFINITY; ncols],
+            cost: vec![0.0; ncols],
+            d: vec![0.0; ncols],
+            art_start,
+        };
+        for j in 0..n {
+            tab.lower[j] = bounds[j].0;
+            tab.upper[j] = bounds[j].1;
+            let c = lp.variables[j].objective;
+            tab.cost[j] = if maximize { c } else { -c };
+        }
+        for (r, c) in lp.constraints.iter().enumerate() {
+            if c.relation == crate::problem::Relation::Eq {
+                tab.upper[n + r] = 0.0; // slack fixed at zero
+            }
+            let row = &mut tab.a[r * ncols..(r + 1) * ncols];
+            for &(v, coef) in &c.terms {
+                row[v.0] += coef;
+            }
+            row[n + r] = slack_coef[r];
+        }
+        for (k, (&coef, &r)) in art_coef.iter().zip(&art_row).enumerate() {
+            tab.a[r * ncols + art_start + k] = coef;
+        }
+
+        // Install the crash basis. Its matrix is diagonal (each basic column
+        // has one nonzero, in its own row), so B⁻¹A is a row-wise division.
+        let mut art_k = 0;
+        for r in 0..m {
+            let b = if slack_basic[r] {
+                n + r
+            } else {
+                let b = art_start + art_k;
+                art_k += 1;
+                b
+            };
+            tab.basis[r] = b;
+            tab.state[b] = ColState::Basic;
+            let beta = tab.a[r * ncols + b];
+            if (beta - 1.0).abs() > EPS {
+                let inv = 1.0 / beta;
+                for x in &mut tab.a[r * ncols..(r + 1) * ncols] {
+                    *x *= inv;
                 }
             }
-            reduced[j] = acc;
         }
-        for r in 0..m {
+        tab
+    }
+
+    /// One pivot: column `pcol` enters the basis in row `prow`. Normalizes
+    /// the pivot row and eliminates `pcol` from every other row — each row
+    /// update is a single contiguous sweep over the flat storage.
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let ncols = self.ncols;
+        let start = prow * ncols;
+        let piv = self.a[start + pcol];
+        debug_assert!(piv.abs() > EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        let (head, rest) = self.a.split_at_mut(start);
+        let (prow_slice, tail) = rest.split_at_mut(ncols);
+        for x in prow_slice.iter_mut() {
+            *x *= inv;
+        }
+        prow_slice[pcol] = 1.0;
+        for chunk in head
+            .chunks_exact_mut(ncols)
+            .chain(tail.chunks_exact_mut(ncols))
+        {
+            let f = chunk[pcol];
+            if f != 0.0 {
+                for (x, p) in chunk.iter_mut().zip(prow_slice.iter()) {
+                    *x -= f * *p;
+                }
+                chunk[pcol] = 0.0;
+            }
+        }
+        self.basis[prow] = pcol;
+    }
+
+    /// Recomputes reduced costs `d_j = c_j − c_B·B⁻¹A_j` for `cost`.
+    fn reset_reduced(&mut self, cost: &[f64]) {
+        self.d.copy_from_slice(cost);
+        for r in 0..self.m {
             let cb = cost[self.basis[r]];
             if cb != 0.0 {
-                z += cb * self.tab[r][self.total];
+                let row = r * self.ncols;
+                for j in 0..self.ncols {
+                    self.d[j] -= cb * self.a[row + j];
+                }
             }
         }
+    }
 
-        let bland_after = 20 * (m + self.total) + 200;
-        let hard_limit = 400 * (m + self.total) + 20_000;
+    /// Whether column `j` may enter the basis (it must be able to move).
+    #[inline]
+    fn movable(&self, j: usize) -> bool {
+        self.upper[j] - self.lower[j] > EPS
+    }
+
+    /// Bounded-variable primal simplex for `cost` (maximization). Dantzig's
+    /// rule with a Bland's-rule switch for anti-cycling.
+    fn primal(&mut self, cost: &[f64], iterations: &mut u64) -> PrimalOutcome {
+        self.reset_reduced(cost);
+        let scale = self.m + self.ncols;
+        let bland_after = 20 * scale + 200;
+        let hard_limit = 400 * scale + 20_000;
         let mut iters = 0usize;
         loop {
             iters += 1;
+            *iterations += 1;
             if iters > hard_limit {
                 // With Bland's rule cycling is impossible; hitting this means
-                // numerical trouble. Treat as infeasible rather than hanging.
-                return Err(SolveError::Infeasible);
+                // numerical trouble. Let the caller fall back.
+                return PrimalOutcome::Stalled;
             }
-            let use_bland = iters > bland_after;
+            let bland = iters > bland_after;
 
-            // Entering column.
-            let mut entering: Option<usize> = None;
-            if use_bland {
-                for (j, &rj) in reduced.iter().enumerate().take(self.banned_from) {
-                    if rj > EPS {
-                        entering = Some(j);
+            // Entering column: a nonbasic whose reduced cost improves the
+            // objective when it moves off its resting bound.
+            let mut entering: Option<(usize, f64)> = None;
+            let mut best = EPS;
+            for j in 0..self.ncols {
+                let score = match self.state[j] {
+                    ColState::Basic => continue,
+                    ColState::AtLower => self.d[j],
+                    ColState::AtUpper => -self.d[j],
+                };
+                if score > EPS && self.movable(j) {
+                    if bland {
+                        entering = Some((j, score));
                         break;
                     }
-                }
-            } else {
-                let mut best = EPS;
-                for (j, &rj) in reduced.iter().enumerate().take(self.banned_from) {
-                    if rj > best {
-                        best = rj;
-                        entering = Some(j);
+                    if score > best {
+                        best = score;
+                        entering = Some((j, score));
                     }
+                }
+            }
+            let Some((e, _)) = entering else {
+                return PrimalOutcome::Optimal;
+            };
+            let sigma = if self.state[e] == ColState::AtLower {
+                1.0
+            } else {
+                -1.0
+            };
+
+            // Ratio test: the entering variable moves by `t·σ`; each basic
+            // variable moves by `−t·σ·α_r` and must stay inside its box, and
+            // the entering variable may not pass its own opposite bound.
+            let t_own = self.upper[e] - self.lower[e]; // may be ∞
+            let mut t_rows = f64::INFINITY;
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves at upper?)
+            for r in 0..self.m {
+                let alpha = self.a[r * self.ncols + e];
+                let delta = sigma * alpha;
+                let b = self.basis[r];
+                let (lim, to_upper) = if delta > EPS {
+                    ((self.xb[r] - self.lower[b]) / delta, false)
+                } else if delta < -EPS && self.upper[b].is_finite() {
+                    ((self.upper[b] - self.xb[r]) / -delta, true)
+                } else {
+                    continue;
+                };
+                let tie = (lim - t_rows).abs() <= EPS * (1.0 + t_rows.abs());
+                let replace = if leave.is_none() {
+                    true
+                } else if tie {
+                    // Ties: Bland's rule picks the smallest basic index for
+                    // termination; otherwise prefer the larger pivot element
+                    // for numerical stability.
+                    if bland {
+                        b < self.basis[leave.unwrap().0]
+                    } else {
+                        alpha.abs() > self.a[leave.unwrap().0 * self.ncols + e].abs()
+                    }
+                } else {
+                    lim < t_rows
+                };
+                if replace {
+                    t_rows = lim.max(0.0);
+                    leave = Some((r, to_upper));
+                }
+            }
+
+            if t_own <= t_rows {
+                if t_own.is_infinite() {
+                    return PrimalOutcome::Unbounded;
+                }
+                // Bound flip: the entering variable crosses its whole range
+                // and re-rests at the opposite bound. No basis change.
+                for r in 0..self.m {
+                    self.xb[r] -= sigma * t_own * self.a[r * self.ncols + e];
+                }
+                self.state[e] = match self.state[e] {
+                    ColState::AtLower => ColState::AtUpper,
+                    _ => ColState::AtLower,
+                };
+                continue;
+            }
+            let (lr, to_upper) = leave.expect("finite row ratio without a row");
+            let t = t_rows;
+            let enter_rest = if sigma > 0.0 {
+                self.lower[e]
+            } else {
+                self.upper[e]
+            };
+            for r in 0..self.m {
+                if r != lr {
+                    self.xb[r] -= sigma * t * self.a[r * self.ncols + e];
+                }
+            }
+            let leaving = self.basis[lr];
+            self.pivot(lr, e);
+            self.xb[lr] = enter_rest + sigma * t;
+            self.state[e] = ColState::Basic;
+            self.state[leaving] = if to_upper {
+                ColState::AtUpper
+            } else {
+                ColState::AtLower
+            };
+            // Incremental reduced-cost update from the normalized pivot row.
+            let de = self.d[e];
+            if de != 0.0 {
+                let row = lr * self.ncols;
+                for j in 0..self.ncols {
+                    self.d[j] -= de * self.a[row + j];
+                }
+            }
+            self.d[e] = 0.0;
+        }
+    }
+
+    /// Whether the current basis satisfies every basic variable's bounds.
+    fn primal_feasible(&self) -> bool {
+        (0..self.m).all(|r| {
+            let b = self.basis[r];
+            self.xb[r] >= self.lower[b] - FEAS_TOL && self.xb[r] <= self.upper[b] + FEAS_TOL
+        })
+    }
+
+    /// Whether the maintained reduced costs are dual feasible: at-lower
+    /// columns must not want to increase, at-upper columns must not want to
+    /// decrease.
+    fn dual_feasible(&self) -> bool {
+        (0..self.ncols).all(|j| {
+            if !self.movable(j) {
+                return true;
+            }
+            match self.state[j] {
+                ColState::Basic => true,
+                ColState::AtLower => self.d[j] <= DUAL_TOL,
+                ColState::AtUpper => self.d[j] >= -DUAL_TOL,
+            }
+        })
+    }
+
+    /// Bounded-variable dual simplex: restores primal feasibility after a
+    /// bound change while keeping the basis dual feasible. The entering
+    /// variable may overshoot its opposite bound; the resulting violation is
+    /// repaired by a later iteration.
+    fn dual(&mut self, iterations: &mut u64) -> DualOutcome {
+        let cap = 40 * (self.m + self.ncols) + 400;
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            *iterations += 1;
+            if iters > cap {
+                return DualOutcome::Stalled;
+            }
+
+            // Leaving row: the basic variable with the largest bound
+            // violation. `below == true` means it fell under its lower bound
+            // and will leave the basis resting there.
+            let mut lr: Option<(usize, bool)> = None;
+            let mut worst = FEAS_TOL;
+            for r in 0..self.m {
+                let b = self.basis[r];
+                let under = self.lower[b] - self.xb[r];
+                let over = self.xb[r] - self.upper[b]; // −∞ when upper is ∞
+                if under > worst {
+                    worst = under;
+                    lr = Some((r, true));
+                }
+                if over > worst {
+                    worst = over;
+                    lr = Some((r, false));
+                }
+            }
+            let Some((lr, below)) = lr else {
+                return DualOutcome::Optimal;
+            };
+
+            // Entering column: must move the leaving variable toward its
+            // violated bound while keeping every reduced cost's sign. With
+            // `s` orienting the row so the violation looks "below lower",
+            // candidates are at-lower columns with negative row entry and
+            // at-upper columns with positive row entry; the dual ratio
+            // |d_j|/|α_j| picks the one whose reduced cost flips first.
+            let s = if below { 1.0 } else { -1.0 };
+            let row = lr * self.ncols;
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.ncols {
+                if !self.movable(j) {
+                    continue;
+                }
+                let alpha = self.a[row + j];
+                let ar = s * alpha;
+                let ok = match self.state[j] {
+                    ColState::Basic => false,
+                    ColState::AtLower => ar < -EPS,
+                    ColState::AtUpper => ar > EPS,
+                };
+                if !ok {
+                    continue;
+                }
+                let ratio = self.d[j].abs() / ar.abs();
+                let tie = (ratio - best_ratio).abs() <= EPS * (1.0 + best_ratio.abs());
+                if entering.is_none()
+                    || (tie && alpha.abs() > best_alpha.abs())
+                    || (!tie && ratio < best_ratio)
+                {
+                    best_ratio = ratio;
+                    best_alpha = alpha;
+                    entering = Some(j);
                 }
             }
             let Some(e) = entering else {
-                return Ok(z);
+                // No column can absorb the violation: the bounds admit no
+                // feasible point (dual unbounded ⇒ primal infeasible).
+                return DualOutcome::Infeasible;
             };
 
-            // Ratio test.
-            let mut leaving: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..m {
-                let a = self.tab[r][e];
-                if a > EPS {
-                    let ratio = self.tab[r][self.total] / a;
-                    let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leaving.is_some_and(|l| self.basis[r] < self.basis[l]));
-                    if better {
-                        best_ratio = ratio;
-                        leaving = Some(r);
+            // Step length: land the leaving variable exactly on its bound.
+            let b = self.basis[lr];
+            let target = if below { self.lower[b] } else { self.upper[b] };
+            let alpha_e = self.a[row + e];
+            let dx = (self.xb[lr] - target) / alpha_e;
+            let enter_rest = match self.state[e] {
+                ColState::AtLower => self.lower[e],
+                _ => self.upper[e],
+            };
+            for r in 0..self.m {
+                if r != lr {
+                    self.xb[r] -= self.a[r * self.ncols + e] * dx;
+                }
+            }
+            self.pivot(lr, e);
+            self.xb[lr] = enter_rest + dx;
+            self.state[e] = ColState::Basic;
+            self.state[b] = if below {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
+            let de = self.d[e];
+            if de != 0.0 {
+                let prow = lr * self.ncols;
+                for j in 0..self.ncols {
+                    self.d[j] -= de * self.a[prow + j];
+                }
+            }
+            self.d[e] = 0.0;
+        }
+    }
+
+    /// Installs new structural bounds, re-resting nonbasic columns and
+    /// propagating each resting-value change through the basic values.
+    fn apply_bounds(&mut self, bounds: &[(f64, f64)]) {
+        for j in 0..self.n {
+            let (nl, nu) = bounds[j];
+            let (ol, ou) = (self.lower[j], self.upper[j]);
+            self.lower[j] = nl;
+            self.upper[j] = nu;
+            let shift = match self.state[j] {
+                ColState::Basic => continue,
+                ColState::AtLower => nl - ol,
+                ColState::AtUpper => {
+                    if nu.is_finite() {
+                        nu - ou
+                    } else {
+                        // The upper bound vanished; re-rest at the lower
+                        // bound. This may break dual feasibility — the
+                        // caller's feasibility probe decides the repair path.
+                        self.state[j] = ColState::AtLower;
+                        nl - ou
+                    }
+                }
+            };
+            if shift != 0.0 {
+                for r in 0..self.m {
+                    let alpha = self.a[r * self.ncols + j];
+                    if alpha != 0.0 {
+                        self.xb[r] -= alpha * shift;
                     }
                 }
             }
-            let Some(l) = leaving else {
-                return Err(SolveError::Unbounded);
-            };
-
-            self.pivot(l, e);
-            // Update reduced costs and objective incrementally.
-            let re = reduced[e];
-            z += re * self.tab[l][self.total];
-            for (r, t) in reduced.iter_mut().zip(&self.tab[l]) {
-                *r -= re * t;
-            }
-            reduced[e] = 0.0;
         }
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
-        let m = self.tab.len();
-        let p = self.tab[row][col];
-        debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
-        let inv = 1.0 / p;
-        for x in &mut self.tab[row] {
-            *x *= inv;
+    /// After phase 1: fixes every artificial to `[0, 0]` (they can never
+    /// re-enter) and pivots basic artificials out where a usable pivot
+    /// element exists. Rows without one are redundant; their artificial
+    /// stays basic at zero and never blocks a ratio test because every
+    /// non-artificial entry in the row is (numerically) zero.
+    fn retire_artificials(&mut self) {
+        for j in self.art_start..self.ncols {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
         }
-        for r in 0..m {
-            if r == row {
+        for r in 0..self.m {
+            if self.basis[r] < self.art_start {
                 continue;
             }
-            let f = self.tab[r][col];
-            if f != 0.0 {
-                for j in 0..=self.total {
-                    self.tab[r][j] -= f * self.tab[row][j];
-                }
-                self.tab[r][col] = 0.0;
-            }
-        }
-        self.basis[row] = col;
-    }
-
-    /// After phase 1, pivots basic artificials (at value 0) out of the basis
-    /// where possible; rows that cannot be pivoted are redundant and zeroed.
-    fn drive_out_artificials(&mut self, art_start: usize) {
-        let m = self.tab.len();
-        for r in 0..m {
-            if self.basis[r] < art_start {
-                continue;
-            }
-            // Find any non-artificial column with a usable pivot element.
-            let col = (0..art_start).find(|&j| self.tab[r][j].abs() > 1e-7);
-            match col {
-                Some(j) => self.pivot(r, j),
-                None => {
-                    // Redundant row: every structural coefficient is zero and
-                    // the rhs is zero (phase 1 succeeded). Leave the
-                    // artificial basic; it stays at zero because the row is
-                    // all-zero and can never be chosen by the ratio test
-                    // with a positive pivot element.
-                }
+            let row = r * self.ncols;
+            let col = (0..self.art_start).find(|&j| self.a[row + j].abs() > 1e-7);
+            if let Some(j) = col {
+                // Degenerate pivot: the artificial sits at zero, so the
+                // entering column becomes basic at the resting value it
+                // already had and no other basic value moves.
+                let art = self.basis[r];
+                let rest = match self.state[j] {
+                    ColState::AtUpper => self.upper[j],
+                    _ => self.lower[j],
+                };
+                self.pivot(r, j);
+                self.xb[r] = rest;
+                self.state[j] = ColState::Basic;
+                self.state[art] = ColState::AtLower;
             }
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{LinearProgram, Relation, VarId};
-
-    fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() < 1e-6, "{a} != {b}");
-    }
-
-    #[test]
-    fn textbook_maximization() {
-        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), z = 36.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 3.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 5.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
-        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
-        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 36.0);
-        assert_close(s.value(x), 2.0);
-        assert_close(s.value(y), 6.0);
-    }
-
-    #[test]
-    fn minimization_with_ge_rows() {
-        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 → x=7,y=3, z=23.
-        let mut lp = LinearProgram::minimize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 2.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 3.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
-        lp.add_constraint(vec![(y, 1.0)], Relation::Ge, 3.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 23.0);
-        assert_close(s.value(x), 7.0);
-        assert_close(s.value(y), 3.0);
-    }
-
-    #[test]
-    fn equality_constraints() {
-        // max x + y s.t. x + y = 5, x - y = 1 → (3, 2).
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.value(x), 3.0);
-        assert_close(s.value(y), 2.0);
-    }
-
-    #[test]
-    fn upper_bounds_bind() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, 2.5, 1.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.value(x), 2.5);
-    }
-
-    #[test]
-    fn nonzero_lower_bounds_shift_correctly() {
-        // max -x s.t. x in [3, 10] → x = 3.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 3.0, 10.0, -1.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.value(x), 3.0);
-        assert_close(s.objective(), -3.0);
-
-        // And a constraint interacting with the shift.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 3.0, 10.0, 1.0);
-        let y = lp.add_continuous("y", 1.0, 10.0, 1.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 6.0);
-        assert!(s.value(x) >= 3.0 - 1e-9);
-        assert!(s.value(y) >= 1.0 - 1e-9);
-    }
-
-    #[test]
-    fn fixed_variable() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 4.0, 4.0, 1.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.value(x), 4.0);
-        assert_close(s.value(y), 6.0);
-    }
-
-    #[test]
-    fn detects_infeasible() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, 1.0, 1.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 5.0);
-        assert_eq!(solve(&lp), Err(SolveError::Infeasible));
-    }
-
-    #[test]
-    fn detects_unbounded() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 0.0);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
-        assert_eq!(solve(&lp), Err(SolveError::Unbounded));
-    }
-
-    #[test]
-    fn degenerate_problem_terminates() {
-        // Classic degeneracy: multiple constraints intersecting at a vertex.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 0.75);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, -150.0);
-        let z = lp.add_continuous("z", 0.0, f64::INFINITY, 0.02);
-        let w = lp.add_continuous("w", 0.0, f64::INFINITY, -6.0);
-        lp.add_constraint(
-            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
-            Relation::Le,
-            0.0,
-        );
-        lp.add_constraint(
-            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
-            Relation::Le,
-            0.0,
-        );
-        lp.add_constraint(vec![(z, 1.0)], Relation::Le, 1.0);
-        // Beale's cycling example; must terminate with z = 1/20… objective 0.05.
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 0.05);
-    }
-
-    #[test]
-    fn redundant_equalities_are_tolerated() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, f64::INFINITY, 1.0);
-        let y = lp.add_continuous("y", 0.0, f64::INFINITY, 1.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
-        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Eq, 8.0); // duplicate
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 4.0);
-    }
-
-    #[test]
-    fn negative_rhs_rows_are_normalized() {
-        // x - y <= -2 with x,y >= 0 → y >= x + 2.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, 5.0, 1.0);
-        let y = lp.add_continuous("y", 0.0, 6.0, 0.0);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, -2.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.value(x), 4.0);
-    }
-
-    #[test]
-    fn solve_with_bounds_overrides() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
-        let s = solve_with_bounds(&lp, &[(0.0, 3.0)]).unwrap();
-        assert_close(s.value(x), 3.0);
-        // Empty box → infeasible.
-        assert_eq!(solve_with_bounds(&lp, &[(4.0, 3.0)]), Err(SolveError::Infeasible));
-    }
-
-    #[test]
-    fn empty_objective_is_fine() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_continuous("x", 0.0, 1.0, 0.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
-        let s = solve(&lp).unwrap();
-        assert_close(s.objective(), 0.0);
-    }
-
-    #[test]
-    fn moderately_sized_random_like_problem() {
-        // A transport-style LP: 6 supplies, 8 demands.
-        let mut lp = LinearProgram::minimize();
-        let mut vars = vec![];
-        for i in 0..6 {
-            for j in 0..8 {
-                let cost = ((i * 13 + j * 7) % 11 + 1) as f64;
-                vars.push(lp.add_continuous(format!("t{i}_{j}"), 0.0, f64::INFINITY, cost));
-            }
-        }
-        let supply = [20.0, 30.0, 25.0, 15.0, 35.0, 25.0];
-        let demand = [18.0, 12.0, 20.0, 25.0, 15.0, 22.0, 20.0, 18.0];
-        for (i, &s) in supply.iter().enumerate() {
-            let terms: Vec<(VarId, f64)> = (0..8).map(|j| (vars[i * 8 + j], 1.0)).collect();
-            lp.add_constraint(terms, Relation::Le, s);
-        }
-        for (j, &d) in demand.iter().enumerate() {
-            let terms: Vec<(VarId, f64)> = (0..6).map(|i| (vars[i * 8 + j], 1.0)).collect();
-            lp.add_constraint(terms, Relation::Eq, d);
-        }
-        let s = solve(&lp).unwrap();
-        // Optimum is feasible and at most the cost of any greedy assignment.
-        assert!(lp.is_feasible(s.values(), 1e-6));
-        assert!(s.objective() > 0.0);
-        assert!(s.objective() <= 11.0 * demand.iter().sum::<f64>());
-    }
-}
+mod tests;

@@ -1,0 +1,227 @@
+//! Randomized equivalence tests for the warm-started branch & bound.
+//!
+//! These complement `proptest_solver.rs` with a dependency-free generator
+//! (a splitmix64 PRNG) so the suite covers hundreds of instances without
+//! pulling in proptest's shrinking machinery: on every instance the
+//! warm-started solver and the cold-per-node solver must agree on
+//! feasibility and, when feasible, on the objective within the solver's
+//! configured gap. Small instances are additionally checked against
+//! brute-force enumeration of the integer lattice.
+
+use proteus_solver::{LinearProgram, MilpSolver, Relation, VarId};
+
+/// Deterministic splitmix64 — no external PRNG crate needed.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform-ish float in `[lo, hi)`.
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+/// A random mixed-integer program: a few integer variables with small
+/// boxes, optional continuous variables, and packing/covering rows scaled
+/// so a healthy fraction of instances is feasible but not trivially so.
+fn random_milp(rng: &mut Rng) -> LinearProgram {
+    let maximize = rng.below(2) == 0;
+    let mut lp = if maximize {
+        LinearProgram::maximize()
+    } else {
+        LinearProgram::minimize()
+    };
+    let n_int = 2 + rng.below(5) as usize;
+    let n_cont = rng.below(3) as usize;
+    let mut vars: Vec<VarId> = Vec::new();
+    for i in 0..n_int {
+        let lower = rng.below(3) as f64;
+        let upper = lower + rng.below(5) as f64;
+        let obj = rng.float(-5.0, 5.0);
+        vars.push(lp.add_integer(format!("i{i}"), lower, upper, obj));
+    }
+    for i in 0..n_cont {
+        let lower = rng.float(0.0, 2.0);
+        let upper = lower + rng.float(0.0, 6.0);
+        let obj = rng.float(-5.0, 5.0);
+        vars.push(lp.add_continuous(format!("c{i}"), lower, upper, obj));
+    }
+    let rows = 1 + rng.below(4) as usize;
+    for _ in 0..rows {
+        let mut terms = Vec::new();
+        let mut mag = 0.0;
+        for &v in &vars {
+            if rng.below(4) == 0 {
+                continue; // sparse-ish rows
+            }
+            let coeff = rng.float(-3.0, 3.0);
+            terms.push((v, coeff));
+            mag += coeff.abs();
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        // Equalities are kept rare: with random coefficients they are
+        // seldom integer-satisfiable and would starve the feasible pool.
+        let relation = match rng.below(6) {
+            0..=2 => Relation::Le,
+            3 | 4 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        // Center the rhs inside the row's reachable range so equalities and
+        // coverings are satisfiable often enough to be interesting.
+        let rhs = rng.float(-0.4, 0.7) * mag;
+        lp.add_constraint(terms, relation, rhs);
+    }
+    lp
+}
+
+fn warm_solver() -> MilpSolver {
+    MilpSolver::default()
+}
+
+fn cold_solver() -> MilpSolver {
+    MilpSolver {
+        warm_start: false,
+        ..MilpSolver::default()
+    }
+}
+
+/// Warm-started B&B and cold-per-node B&B must agree on every instance.
+/// The issue's acceptance bar is ≥ 100 randomized MILPs; run 300.
+#[test]
+fn warm_start_matches_cold_solve_on_random_milps() {
+    let mut rng = Rng(0x5eed_cafe);
+    let mut solved = 0u32;
+    for case in 0..300 {
+        let lp = random_milp(&mut rng);
+        let warm = warm_solver().solve_with_stats(&lp);
+        let cold = cold_solver().solve_with_stats(&lp);
+        match (&warm, &cold) {
+            (Ok((w, ws)), Ok((c, _))) => {
+                solved += 1;
+                let tol = warm_solver().gap_tolerance.max(1e-6)
+                    * (1.0 + w.objective().abs().max(c.objective().abs()));
+                assert!(
+                    (w.objective() - c.objective()).abs() <= tol,
+                    "case {case}: warm {} vs cold {} (Δ > {tol:.2e})\nstats: {ws:?}",
+                    w.objective(),
+                    c.objective(),
+                );
+                assert!(
+                    lp.is_feasible(w.values(), 1e-6),
+                    "case {case}: warm solution infeasible"
+                );
+                assert_eq!(ws.nodes, ws.warm_starts + ws.cold_solves, "case {case}");
+            }
+            (Err(we), Err(ce)) => {
+                assert_eq!(we, ce, "case {case}: different failure kinds");
+            }
+            _ => panic!(
+                "case {case}: warm and cold disagree on feasibility: {:?} vs {:?}",
+                warm.as_ref().map(|(s, _)| s.objective()),
+                cold.as_ref().map(|(s, _)| s.objective()),
+            ),
+        }
+    }
+    // The generator must not degenerate into all-infeasible instances.
+    assert!(solved >= 100, "only {solved}/300 instances were feasible");
+}
+
+/// On all-integer programs with small boxes, the solver must match exact
+/// brute-force enumeration of the entire lattice.
+#[test]
+fn bounded_simplex_matches_brute_force_enumeration() {
+    let mut rng = Rng(0xb01d_face);
+    let mut solved = 0u32;
+    for case in 0..150 {
+        // Pure-integer instances, boxes capped so the lattice stays small.
+        let maximize = rng.below(2) == 0;
+        let mut lp = if maximize {
+            LinearProgram::maximize()
+        } else {
+            LinearProgram::minimize()
+        };
+        let n = 2 + rng.below(3) as usize; // 2..=4 vars
+        let mut boxes = Vec::new();
+        let mut vars = Vec::new();
+        for i in 0..n {
+            let lower = rng.below(2) as f64;
+            let upper = lower + 1.0 + rng.below(3) as f64; // width 1..=3
+            vars.push(lp.add_integer(format!("v{i}"), lower, upper, rng.float(-4.0, 4.0)));
+            boxes.push((lower as i64, upper as i64));
+        }
+        let rows = 1 + rng.below(3) as usize;
+        for _ in 0..rows {
+            let mut terms = Vec::new();
+            let mut mag = 0.0;
+            for &v in &vars {
+                let coeff = rng.float(-2.0, 2.0);
+                terms.push((v, coeff));
+                mag += coeff.abs();
+            }
+            let relation = if rng.below(2) == 0 {
+                Relation::Le
+            } else {
+                Relation::Ge
+            };
+            lp.add_constraint(terms, relation, rng.float(-0.3, 0.8) * mag);
+        }
+
+        // Brute force the lattice.
+        let mut best: Option<f64> = None;
+        let mut point = vec![0f64; n];
+        enumerate(&boxes, 0, &mut point, &mut |p| {
+            if lp.is_feasible(p, 1e-9) {
+                let obj = lp.objective_value(p);
+                best = Some(match best {
+                    None => obj,
+                    Some(b) if maximize => b.max(obj),
+                    Some(b) => b.min(obj),
+                });
+            }
+        });
+
+        let solved_milp = warm_solver().solve(&lp);
+        match (best, solved_milp) {
+            (Some(b), Ok(s)) => {
+                solved += 1;
+                assert!(
+                    (s.objective() - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "case {case}: solver {} vs brute force {b}",
+                    s.objective()
+                );
+            }
+            (None, Err(_)) => {}
+            (b, s) => panic!(
+                "case {case}: feasibility disagreement: brute {b:?} vs solver {:?}",
+                s.map(|x| x.objective())
+            ),
+        }
+    }
+    assert!(solved >= 50, "only {solved}/150 instances were feasible");
+}
+
+fn enumerate(boxes: &[(i64, i64)], depth: usize, point: &mut Vec<f64>, f: &mut impl FnMut(&[f64])) {
+    if depth == boxes.len() {
+        f(point);
+        return;
+    }
+    for v in boxes[depth].0..=boxes[depth].1 {
+        point[depth] = v as f64;
+        enumerate(boxes, depth + 1, point, f);
+    }
+}

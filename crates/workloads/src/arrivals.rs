@@ -163,8 +163,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
-        let b = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
+        let a =
+            ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
+        let b =
+            ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 100.0, 11).take_for_secs(3.0);
         assert_eq!(a, b);
     }
 

@@ -257,8 +257,14 @@ mod tests {
                 .map(|_| poisson_count(&mut r, lambda) as f64)
                 .collect();
             let (mean, var) = mean_and_var(&samples);
-            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "λ={lambda} mean {mean}");
-            assert!((var - lambda).abs() < 0.08 * lambda.max(1.0), "λ={lambda} var {var}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "λ={lambda} mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.08 * lambda.max(1.0),
+                "λ={lambda} var {var}"
+            );
         }
         assert_eq!(poisson_count(&mut r, 0.0), 0);
     }

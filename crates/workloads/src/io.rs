@@ -94,10 +94,7 @@ pub fn arrivals_from_csv(text: &str) -> Result<Vec<QueryArrival>, ParseTraceErro
         if !secs.is_finite() || secs < 0.0 {
             return Err(bad(format!("time {secs} must be finite and non-negative")));
         }
-        let family: ModelFamily = fam
-            .trim()
-            .parse()
-            .map_err(|e| bad(format!("{e}")))?;
+        let family: ModelFamily = fam.trim().parse().map_err(|e| bad(format!("{e}")))?;
         let cost = match cost_col {
             None => 1.0,
             Some(c) => {
@@ -148,7 +145,9 @@ impl RecordedTrace {
     /// trace for later replay).
     pub fn capture(trace: &dyn DemandTrace) -> Self {
         Self {
-            per_second: (0..trace.duration_secs()).map(|s| trace.qps_at(s)).collect(),
+            per_second: (0..trace.duration_secs())
+                .map(|s| trace.qps_at(s))
+                .collect(),
         }
     }
 

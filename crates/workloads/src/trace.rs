@@ -128,10 +128,7 @@ impl DiurnalTrace {
 
 impl DemandTrace for DiurnalTrace {
     fn qps_at(&self, second: u32) -> f64 {
-        self.per_second
-            .get(second as usize)
-            .copied()
-            .unwrap_or(0.0)
+        self.per_second.get(second as usize).copied().unwrap_or(0.0)
     }
 
     fn duration_secs(&self) -> u32 {
@@ -353,7 +350,10 @@ mod tests {
 
     #[test]
     fn flat_trace_is_flat() {
-        let t = FlatTrace { qps: 50.0, secs: 30 };
+        let t = FlatTrace {
+            qps: 50.0,
+            secs: 30,
+        };
         assert_eq!(t.duration_secs(), 30);
         assert_eq!(t.qps_at(0), 50.0);
         assert_eq!(t.qps_at(29), 50.0);
@@ -399,7 +399,10 @@ mod tests {
     #[test]
     fn builder_hits_aggregate_rate() {
         let builder = TraceBuilder::new(TraceBuilder::paper_families()).seed(3);
-        let trace = FlatTrace { qps: 500.0, secs: 60 };
+        let trace = FlatTrace {
+            qps: 500.0,
+            secs: 60,
+        };
         let arrivals = builder.build(&trace);
         let rate = arrivals.len() as f64 / 60.0;
         assert!((rate - 500.0).abs() < 20.0, "rate {rate}");
@@ -409,12 +412,14 @@ mod tests {
     fn builder_respects_zipf_shares() {
         let families = TraceBuilder::paper_families();
         let builder = TraceBuilder::new(families.clone()).seed(5);
-        let trace = FlatTrace { qps: 2000.0, secs: 60 };
+        let trace = FlatTrace {
+            qps: 2000.0,
+            secs: 60,
+        };
         let arrivals = builder.build(&trace);
         let total = arrivals.len() as f64;
         for &family in &families {
-            let observed =
-                arrivals.iter().filter(|a| a.family == family).count() as f64 / total;
+            let observed = arrivals.iter().filter(|a| a.family == family).count() as f64 / total;
             let expected = builder.family_share(family);
             assert!(
                 (observed - expected).abs() < 0.02,
@@ -438,7 +443,10 @@ mod tests {
     #[test]
     fn arrivals_are_sorted_and_within_trace() {
         let builder = TraceBuilder::new(TraceBuilder::paper_families());
-        let trace = FlatTrace { qps: 300.0, secs: 10 };
+        let trace = FlatTrace {
+            qps: 300.0,
+            secs: 10,
+        };
         let arrivals = builder.build(&trace);
         for w in arrivals.windows(2) {
             assert!(w[0].at <= w[1].at);
@@ -452,7 +460,10 @@ mod tests {
         let builder = TraceBuilder::new(TraceBuilder::paper_families())
             .seed(6)
             .variable_input_sizes(1.5);
-        let arrivals = builder.build(&FlatTrace { qps: 600.0, secs: 20 });
+        let arrivals = builder.build(&FlatTrace {
+            qps: 600.0,
+            secs: 20,
+        });
         let (mut nlp_costs, mut vision_costs) = (Vec::new(), Vec::new());
         for a in &arrivals {
             if a.family.is_transformer() {
@@ -469,7 +480,10 @@ mod tests {
         // Without the option every cost is nominal.
         let plain = TraceBuilder::new(TraceBuilder::paper_families())
             .seed(6)
-            .build(&FlatTrace { qps: 100.0, secs: 5 });
+            .build(&FlatTrace {
+                qps: 100.0,
+                secs: 5,
+            });
         assert!(plain.iter().all(|a| a.cost == 1.0));
     }
 
@@ -484,7 +498,10 @@ mod tests {
         let mk = || {
             TraceBuilder::new(TraceBuilder::paper_families())
                 .seed(9)
-                .build(&FlatTrace { qps: 100.0, secs: 5 })
+                .build(&FlatTrace {
+                    qps: 100.0,
+                    secs: 5,
+                })
         };
         assert_eq!(mk(), mk());
     }

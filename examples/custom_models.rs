@@ -68,7 +68,10 @@ fn main() {
     // Two applications share the box; SpeechNet is the heavy one.
     let arrivals = TraceBuilder::new(vec![ModelFamily::YoloV5, ModelFamily::ResNet])
         .seed(9)
-        .build(&FlatTrace { qps: 220.0, secs: 60 });
+        .build(&FlatTrace {
+            qps: 220.0,
+            secs: 60,
+        });
 
     let mut system = ServingSystem::new(
         config,

@@ -46,11 +46,7 @@ fn main() {
     ]);
     for allocator in contenders {
         let name = allocator.name();
-        let mut system = ServingSystem::new(
-            config.clone(),
-            allocator,
-            Box::new(ProteusBatching),
-        );
+        let mut system = ServingSystem::new(config.clone(), allocator, Box::new(ProteusBatching));
         let summary = system.run(&arrivals).metrics.summary();
         table.row(vec![
             name.to_string(),

@@ -42,8 +42,14 @@ fn main() {
     let summary = outcome.metrics.summary();
 
     let mut table = TextTable::new(vec!["metric", "value"]);
-    table.row(vec!["queries arrived".into(), summary.total_arrived.to_string()]);
-    table.row(vec!["queries served".into(), summary.total_served.to_string()]);
+    table.row(vec![
+        "queries arrived".into(),
+        summary.total_arrived.to_string(),
+    ]);
+    table.row(vec![
+        "queries served".into(),
+        summary.total_served.to_string(),
+    ]);
     table.row(vec![
         "avg throughput (QPS)".into(),
         fmt_f(summary.avg_throughput_qps, 1),

@@ -130,11 +130,12 @@ fn proteus_beats_clipper_ha_on_violations_under_pressure() {
 fn proteus_batching_beats_aimd_on_gamma_bursts() {
     // Single-family micro-bursty stream with a frozen allocation: the
     // Fig. 6 isolation experiment.
-    let stream: Vec<QueryArrival> = ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 250.0, 17)
-        .take_for_secs(40.0)
-        .into_iter()
-        .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
-        .collect();
+    let stream: Vec<QueryArrival> =
+        ArrivalProcess::new(ArrivalKind::Gamma { shape: 0.05 }, 250.0, 17)
+            .take_for_secs(40.0)
+            .into_iter()
+            .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
+            .collect();
     let mut config = SystemConfig::small();
     config.realloc_period_secs = 1e9;
     let mut provision = FamilyMap::default();

@@ -9,9 +9,7 @@ use proteus::core::batching::{
 };
 use proteus::core::schedulers::AllocContext;
 use proteus::core::{FamilyMap, Query, QueryId};
-use proteus::profiler::{
-    Cluster, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy,
-};
+use proteus::profiler::{Cluster, DeviceType, ModelFamily, ModelZoo, ProfileStore, SloPolicy};
 use proteus::sim::SimTime;
 use proteus::solver::{LinearProgram, MilpSolver, Relation};
 

@@ -1,0 +1,330 @@
+//! `trace-query` — inspect a flight-recorder JSONL trace.
+//!
+//! ```sh
+//! trace-query run.jsonl query 17   # one query's lifecycle, reconstructed
+//! trace-query run.jsonl blame     # who to blame for each SLO violation
+//! trace-query run.jsonl summary   # lifecycle counts
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use proteus_metrics::report::{fmt_f, TextTable};
+use proteus_trace::{
+    blame, parse_jsonl, query_lifecycle, BlameCause, BlameVerdict, EventKind, LifecycleStats,
+    TraceEvent,
+};
+
+const USAGE: &str = "\
+usage: trace-query <trace.jsonl> query <id>   reconstruct one query's lifecycle
+       trace-query <trace.jsonl> blame        attribute every SLO violation
+       trace-query <trace.jsonl> summary      lifecycle counts
+
+Reads a JSONL trace recorded with `proteus <config> --trace <path>`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        None | Some("--help" | "-h")
+    ) {
+        eprintln!("{USAGE}");
+        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    }
+    let path = &args[0];
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match args.get(1).map(String::as_str) {
+        Some("query") => {
+            let Some(id) = args.get(2).and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("error: `query` needs a numeric query id\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            render_query(&events, id)
+        }
+        Some("blame") => render_blame(&events),
+        Some("summary") => render_summary(&events),
+        other => {
+            let what = other.unwrap_or("nothing");
+            eprintln!("error: unknown command `{what}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A closed pipe (`trace-query … | head`) is a normal way to consume the
+    // per-violation listing, not an error.
+    use std::io::Write as _;
+    if let Err(e) = std::io::stdout().write_all(report.as_bytes()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("error: writing output: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Milliseconds with microsecond precision, the natural scale for SLOs.
+fn ms(t: proteus_sim::SimTime) -> String {
+    fmt_f(t.as_millis_f64(), 3)
+}
+
+/// One human-readable line per event kind.
+fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::WorkerOnline {
+            device,
+            device_type,
+        } => format!("worker {device} ({}) online", device_type.label()),
+        EventKind::Arrived { query, family } => {
+            format!("query {query} arrived (family {})", family.label())
+        }
+        EventKind::Routed { query, device } => format!("query {query} routed to {device}"),
+        EventKind::Enqueued {
+            query,
+            device,
+            depth,
+        } => format!("query {query} enqueued on {device} (depth {depth})"),
+        EventKind::BatchFormed {
+            device,
+            batch,
+            queries,
+        } => format!("batch {batch} formed on {device} from queries {queries:?}"),
+        EventKind::ExecStarted {
+            device,
+            batch,
+            variant,
+            size,
+            until,
+        } => format!(
+            "batch {batch} ({variant} \u{00d7}{size}) executing on {device} until {} ms",
+            ms(*until)
+        ),
+        EventKind::ExecCompleted { device, batch } => {
+            format!("batch {batch} completed on {device}")
+        }
+        EventKind::ServedOnTime { query, latency } => {
+            format!("query {query} served on time (latency {} ms)", ms(*latency))
+        }
+        EventKind::ServedLate { query, latency } => {
+            format!("query {query} served LATE (latency {} ms)", ms(*latency))
+        }
+        EventKind::Dropped { query, reason } => {
+            format!("query {query} DROPPED ({})", reason.label())
+        }
+        EventKind::ModelLoadStarted {
+            device,
+            variant,
+            until,
+        } => match variant {
+            Some(v) => format!("{device} loading {v} until {} ms", ms(*until)),
+            None => format!("{device} unloading until {} ms", ms(*until)),
+        },
+        EventKind::ModelLoadFinished { device } => format!("{device} load finished"),
+        EventKind::ReplanTriggered { cause } => format!("replan triggered ({})", cause.label()),
+        EventKind::PlanApplied { changed, shrink } => {
+            format!("plan applied ({changed} devices changed, shrink {shrink})")
+        }
+        EventKind::SolveStats {
+            nodes,
+            pivots,
+            warm_starts,
+            wall_nanos,
+        } => format!(
+            "solver: {nodes} nodes, {pivots} pivots, {warm_starts} warm starts, {} ms wall",
+            fmt_f(*wall_nanos as f64 / 1e6, 2)
+        ),
+    }
+}
+
+/// `trace-query <file> query <id>`: lifecycle plus, for violations, the
+/// blame verdict.
+fn render_query(events: &[TraceEvent], id: u64) -> String {
+    let life = query_lifecycle(events, id);
+    if life.is_empty() {
+        return format!("query {id}: no events in trace\n");
+    }
+    let mut out = format!("query {id}: {} events\n", life.len());
+    let t0 = life[0].at;
+    for e in &life {
+        let _ = writeln!(
+            out,
+            "  {:>12}  +{:>10}  {}",
+            format!("{} ms", ms(e.at)),
+            format!("{} ms", ms(e.at.saturating_sub(t0))),
+            describe(&e.kind)
+        );
+    }
+    if let Some(v) = blame(events).verdicts.iter().find(|v| v.query == id) {
+        let _ = writeln!(out, "verdict: {}", verdict_line(v));
+    }
+    out
+}
+
+fn verdict_line(v: &BlameVerdict) -> String {
+    if v.cause == BlameCause::Shed {
+        return "shed (rejected at admission)".to_string();
+    }
+    format!(
+        "{} (waited {} ms queueing, {} ms model-load, {} ms batch-wait)",
+        v.cause.label(),
+        ms(v.queueing),
+        ms(v.model_load),
+        ms(v.batch_wait)
+    )
+}
+
+/// `trace-query <file> blame`: per-cause counts, then every verdict.
+fn render_blame(events: &[TraceEvent]) -> String {
+    let stats = LifecycleStats::from_events(events);
+    let report = blame(events);
+    let mut out = format!(
+        "{} SLO violations out of {} queries\n",
+        report.total(),
+        stats.arrived
+    );
+    if report.total() == 0 {
+        return out;
+    }
+    let mut t = TextTable::new(vec!["cause", "violations", "share (%)"]);
+    for cause in BlameCause::ALL {
+        let n = report.count(cause);
+        if n > 0 {
+            t.row(vec![
+                cause.label().into(),
+                n.to_string(),
+                fmt_f(n as f64 / report.total() as f64 * 100.0, 1),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    for v in &report.verdicts {
+        let _ = writeln!(
+            out,
+            "  query {:>6} at {:>12} ms: {}",
+            v.query,
+            ms(v.at),
+            verdict_line(v)
+        );
+    }
+    out
+}
+
+/// `trace-query <file> summary`: whole-trace lifecycle counts.
+fn render_summary(events: &[TraceEvent]) -> String {
+    let stats = LifecycleStats::from_events(events);
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec!["events".into(), events.len().to_string()]);
+    t.row(vec!["arrived".into(), stats.arrived.to_string()]);
+    t.row(vec![
+        "served on time".into(),
+        stats.served_on_time.to_string(),
+    ]);
+    t.row(vec!["served late".into(), stats.served_late.to_string()]);
+    t.row(vec!["dropped".into(), stats.dropped.to_string()]);
+    t.row(vec!["violations".into(), stats.violations().to_string()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_profiler::{DeviceId, ModelFamily, VariantId};
+    use proteus_sim::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        let variant = VariantId {
+            family: ModelFamily::ResNet,
+            index: 1,
+        };
+        vec![
+            TraceEvent {
+                at: t(0),
+                kind: EventKind::Arrived {
+                    query: 5,
+                    family: ModelFamily::ResNet,
+                },
+            },
+            TraceEvent {
+                at: t(0),
+                kind: EventKind::Enqueued {
+                    query: 5,
+                    device: DeviceId(2),
+                    depth: 1,
+                },
+            },
+            TraceEvent {
+                at: t(40),
+                kind: EventKind::BatchFormed {
+                    device: DeviceId(2),
+                    batch: 0,
+                    queries: vec![5],
+                },
+            },
+            TraceEvent {
+                at: t(40),
+                kind: EventKind::ExecStarted {
+                    device: DeviceId(2),
+                    batch: 0,
+                    variant,
+                    size: 1,
+                    until: t(90),
+                },
+            },
+            TraceEvent {
+                at: t(90),
+                kind: EventKind::ExecCompleted {
+                    device: DeviceId(2),
+                    batch: 0,
+                },
+            },
+            TraceEvent {
+                at: t(90),
+                kind: EventKind::ServedLate {
+                    query: 5,
+                    latency: t(90),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn query_report_reconstructs_lifecycle() {
+        let out = render_query(&sample(), 5);
+        assert!(out.contains("query 5: 6 events"));
+        assert!(out.contains("enqueued on d2"));
+        assert!(out.contains("served LATE"));
+        assert!(out.contains("verdict: batch_wait"));
+        assert!(render_query(&sample(), 99).contains("no events"));
+    }
+
+    #[test]
+    fn blame_report_totals_add_up() {
+        let out = render_blame(&sample());
+        assert!(out.contains("1 SLO violations out of 1 queries"));
+        assert!(out.contains("batch_wait"));
+        assert!(out.contains("100.0"));
+    }
+
+    #[test]
+    fn summary_counts_lifecycle() {
+        let out = render_summary(&sample());
+        assert!(out.contains("arrived"));
+        assert!(out.contains("violations"));
+    }
+}

@@ -16,4 +16,4 @@
 pub mod config;
 mod runner;
 
-pub use runner::{run_experiment, ExperimentOutput};
+pub use runner::{run_experiment, run_experiment_traced, ExperimentOutput};

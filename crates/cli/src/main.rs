@@ -3,13 +3,16 @@
 //! ```sh
 //! proteus experiment.conf          # run the experiment
 //! proteus --print-default-config   # starting-point config on stdout
+//! proteus experiment.conf --trace run.jsonl                  # flight recorder
+//! proteus experiment.conf --trace run.json --trace-format chrome
 //! proteus --help
 //! ```
 
 use std::process::ExitCode;
 
 use proteus_cli::config::ExperimentConfig;
-use proteus_cli::run_experiment;
+use proteus_cli::{run_experiment_traced, ExperimentOutput};
+use proteus_trace::{export_chrome, JsonlSink, MemorySink, NullSink};
 
 const DEFAULT_CONFIG: &str = "\
 # Proteus experiment configuration (artifact-compatible knobs).
@@ -27,22 +30,120 @@ beta = 1.05
 output = summary           # summary | timeseries | families | latency
 ";
 
+const USAGE: &str = "\
+usage: proteus <config-file> [--trace <path>] [--trace-format jsonl|chrome]
+       proteus --print-default-config
+
+Runs a Proteus inference-serving experiment described by a
+`key = value` configuration file (see --print-default-config).
+
+  --trace <path>          record flight-recorder events to <path>
+  --trace-format <fmt>    jsonl (default; analyse with trace-query) or
+                          chrome (open in chrome://tracing or Perfetto)";
+
+/// How `--trace-format` renders the recorded events.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+/// Parsed command line: the config path plus optional trace destination.
+struct CliArgs {
+    config_path: String,
+    trace_path: Option<String>,
+    trace_format: TraceFormat,
+}
+
+/// Splits flags (any position) from the one positional config path.
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut config_path = None;
+    let mut trace_path = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let path = it.next().ok_or("--trace needs a file path")?;
+                trace_path = Some(path.clone());
+            }
+            "--trace-format" => {
+                let fmt = it.next().ok_or("--trace-format needs a value")?;
+                trace_format = match fmt.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => return Err(format!("unknown trace format `{other}`")),
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => {
+                if config_path.replace(path.to_string()).is_some() {
+                    return Err("more than one config file given".into());
+                }
+            }
+        }
+    }
+    let config_path = config_path.ok_or("no config file given")?;
+    Ok(CliArgs {
+        config_path,
+        trace_path,
+        trace_format,
+    })
+}
+
+/// Runs the experiment, recording a trace when requested.
+fn run(config: &ExperimentConfig, args: &CliArgs) -> Result<ExperimentOutput, String> {
+    let Some(path) = &args.trace_path else {
+        return Ok(run_experiment_traced(config, &mut NullSink));
+    };
+    match args.trace_format {
+        TraceFormat::Jsonl => {
+            let mut sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            let output = run_experiment_traced(config, &mut sink);
+            let events = sink.events_written();
+            sink.finish()
+                .map_err(|e| format!("error writing trace file `{path}`: {e}"))?;
+            eprintln!("trace: {events} events -> {path}");
+            Ok(output)
+        }
+        TraceFormat::Chrome => {
+            let mut sink = MemorySink::new();
+            let output = run_experiment_traced(config, &mut sink);
+            let doc = export_chrome(sink.events());
+            std::fs::write(path, doc)
+                .map_err(|e| format!("cannot write trace file `{path}`: {e}"))?;
+            eprintln!(
+                "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+                sink.len()
+            );
+            Ok(output)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("--help") | Some("-h") => {
-            eprintln!(
-                "usage: proteus <config-file>\n       proteus --print-default-config\n\n\
-                 Runs a Proteus inference-serving experiment described by a\n\
-                 `key = value` configuration file (see --print-default-config)."
-            );
+            eprintln!("{USAGE}");
             ExitCode::from(if args.is_empty() { 2 } else { 0 })
         }
         Some("--print-default-config") => {
             print!("{DEFAULT_CONFIG}");
             ExitCode::SUCCESS
         }
-        Some(path) => {
+        Some(_) => {
+            let cli = match parse_args(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let path = &cli.config_path;
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -65,21 +166,60 @@ fn main() -> ExitCode {
                 config.trace_secs,
                 config.peak_qps
             );
-            let output = run_experiment(&config);
-            print!("{}", output.report);
-            ExitCode::SUCCESS
+            match run(&config, &cli) {
+                Ok(output) => {
+                    print!("{}", output.report);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::DEFAULT_CONFIG;
+    use super::{parse_args, TraceFormat, DEFAULT_CONFIG};
     use proteus_cli::config::ExperimentConfig;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
 
     #[test]
     fn default_config_text_parses_to_defaults() {
         let parsed: ExperimentConfig = DEFAULT_CONFIG.parse().unwrap();
         assert_eq!(parsed, ExperimentConfig::default());
+    }
+
+    #[test]
+    fn parses_trace_flags_in_any_position() {
+        let c = parse_args(&argv(&["exp.conf", "--trace", "out.jsonl"])).unwrap();
+        assert_eq!(c.config_path, "exp.conf");
+        assert_eq!(c.trace_path.as_deref(), Some("out.jsonl"));
+        assert!(c.trace_format == TraceFormat::Jsonl);
+
+        let c = parse_args(&argv(&[
+            "--trace",
+            "out.json",
+            "--trace-format",
+            "chrome",
+            "exp.conf",
+        ]))
+        .unwrap();
+        assert_eq!(c.config_path, "exp.conf");
+        assert!(c.trace_format == TraceFormat::Chrome);
+    }
+
+    #[test]
+    fn rejects_bad_flag_usage() {
+        assert!(parse_args(&argv(&["exp.conf", "--trace"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--trace-format", "xml"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["a.conf", "b.conf"])).is_err());
+        assert!(parse_args(&argv(&[])).is_err());
     }
 }

@@ -7,9 +7,10 @@ use proteus_core::schedulers::{
     Allocator, ClipperAllocator, ClipperMode, InfaasAccuracyAllocator, ProteusAllocator,
     SommelierAllocator,
 };
-use proteus_core::system::{RunOutcome, ServingSystem, SystemConfig};
+use proteus_core::system::{ReplanCause, RunOutcome, ServingSystem, SystemConfig};
 use proteus_metrics::report::{fmt_f, TextTable};
 use proteus_profiler::{Cluster, SloPolicy};
+use proteus_trace::{NullSink, TraceSink};
 use proteus_workloads::{BurstyTrace, DemandTrace, DiurnalTrace, FlatTrace, TraceBuilder};
 
 use crate::config::{AllocationKind, BatchingKind, ExperimentConfig, OutputKind, TraceKind};
@@ -69,6 +70,15 @@ fn build_trace(config: &ExperimentConfig) -> Box<dyn DemandTrace> {
 
 /// Runs one experiment and renders its report.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
+    run_experiment_traced(config, &mut NullSink)
+}
+
+/// Runs one experiment while recording flight-recorder events into `sink`
+/// (pass [`NullSink`] to trace nothing at zero cost).
+pub fn run_experiment_traced(
+    config: &ExperimentConfig,
+    sink: &mut dyn TraceSink,
+) -> ExperimentOutput {
     let trace = build_trace(config);
     let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
         .seed(config.seed)
@@ -87,9 +97,37 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         build_allocator(config.allocation),
         build_batching(config.batching),
     );
-    let outcome = system.run(&arrivals);
+    let outcome = system.run_traced(&arrivals, sink);
     let report = render(config, &outcome);
     ExperimentOutput { outcome, report }
+}
+
+/// One line summarizing the replan log: counts by trigger cause plus the
+/// mean solver wall time per replan, e.g.
+/// `initial:1 periodic:12 burst:2 (mean wall 0.84 ms)`.
+fn replan_log_line(outcome: &RunOutcome) -> Option<String> {
+    if outcome.replan_log.is_empty() {
+        return None;
+    }
+    let mut parts = Vec::new();
+    for cause in ReplanCause::ALL {
+        let n = outcome
+            .replan_log
+            .iter()
+            .filter(|r| r.cause == cause)
+            .count();
+        if n > 0 {
+            parts.push(format!("{}:{n}", cause.label()));
+        }
+    }
+    let mean_wall_ms = outcome.replan_log.iter().map(|r| r.wall_secs).sum::<f64>()
+        / outcome.replan_log.len() as f64
+        * 1e3;
+    Some(format!(
+        "{} (mean wall {} ms)",
+        parts.join(" "),
+        fmt_f(mean_wall_ms, 2)
+    ))
 }
 
 fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
@@ -116,10 +154,22 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                 "SLO violation ratio".into(),
                 fmt_f(s.slo_violation_ratio, 4),
             ]);
+            for (name, p) in [
+                ("latency p50 (ms)", s.latency_p50),
+                ("latency p95 (ms)", s.latency_p95),
+                ("latency p99 (ms)", s.latency_p99),
+            ] {
+                if let Some(v) = p {
+                    t.row(vec![name.into(), fmt_f(v.as_millis_f64(), 1)]);
+                }
+            }
             t.row(vec![
                 "re-allocations".into(),
                 outcome.reallocations.to_string(),
             ]);
+            if let Some(line) = replan_log_line(outcome) {
+                t.row(vec!["replans by cause".into(), line]);
+            }
             // Per-replan solver cost (zero for the heuristic baselines).
             let st = outcome.solver_stats;
             if st.nodes > 0 {
@@ -200,7 +250,12 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                 "throughput (QPS)",
                 "effective acc (%)",
                 "violation ratio",
+                "p95 (ms)",
+                "p99 (ms)",
             ]);
+            let pct = |p: Option<proteus_sim::SimTime>| {
+                p.map_or("-".into(), |v| fmt_f(v.as_millis_f64(), 1))
+            };
             for f in outcome.metrics.family_summaries() {
                 t.row(vec![
                     f.family.label().to_string(),
@@ -208,6 +263,8 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                     fmt_f(f.summary.avg_throughput_qps, 1),
                     fmt_f(f.summary.effective_accuracy_pct(), 2),
                     fmt_f(f.summary.slo_violation_ratio, 4),
+                    pct(f.summary.latency_p95),
+                    pct(f.summary.latency_p99),
                 ]);
             }
             t.render()
@@ -256,6 +313,37 @@ mod tests {
         assert!(out.report.contains("p99"));
         let all = out.report.lines().nth(2).unwrap();
         assert!(all.starts_with("all"));
+    }
+
+    #[test]
+    fn summary_includes_percentiles_and_replan_log() {
+        let out = run_experiment(&quick_config(""));
+        assert!(out.report.contains("latency p50 (ms)"));
+        assert!(out.report.contains("latency p99 (ms)"));
+        // The ILP default replans at least once (the initial plan).
+        assert!(out.report.contains("replans by cause"));
+        assert!(out.report.contains("initial:1"));
+        assert!(out.report.contains("mean wall"));
+        assert!(!out.outcome.replan_log.is_empty());
+    }
+
+    #[test]
+    fn families_output_has_percentile_columns() {
+        let out = run_experiment(&quick_config("output = families"));
+        assert!(out.report.contains("p95 (ms)"));
+        assert!(out.report.contains("p99 (ms)"));
+    }
+
+    #[test]
+    fn traced_run_balances_arrivals_and_terminals() {
+        let mut sink = proteus_trace::MemorySink::new();
+        let out = run_experiment_traced(&quick_config(""), &mut sink);
+        let stats = proteus_trace::LifecycleStats::from_events(sink.events());
+        let s = out.outcome.metrics.summary();
+        assert_eq!(stats.arrived, s.total_arrived);
+        assert_eq!(stats.terminals(), stats.arrived);
+        assert_eq!(stats.served_on_time + stats.served_late, s.total_served);
+        assert_eq!(stats.dropped, s.total_dropped);
     }
 
     #[test]

@@ -23,6 +23,10 @@ use proteus_metrics::MetricsCollector;
 use proteus_profiler::{Cluster, ModelZoo, ProfileStore, SloPolicy, VariantId};
 use proteus_sim::{Actor, SimTime, Simulation};
 use proteus_solver::SolveStats;
+use proteus_trace::{DropReason, EventKind, NullSink, TraceEvent, TraceSink};
+// Re-exported so downstream code can name replan causes without depending
+// on proteus-trace directly.
+pub use proteus_trace::ReplanCause;
 use proteus_workloads::dist::standard_normal;
 use proteus_workloads::QueryArrival;
 use rand::rngs::StdRng;
@@ -177,8 +181,25 @@ pub struct RunOutcome {
     pub provisioned_devices: u32,
     /// Per-device execution statistics (indexed by device id).
     pub device_stats: Vec<DeviceStats>,
+    /// One record per Resource Manager invocation, in time order.
+    pub replan_log: Vec<ReplanRecord>,
     /// The plan in force when the run ended.
     pub final_plan: AllocationPlan,
+}
+
+/// One Resource Manager invocation: what triggered it and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanRecord {
+    /// When the controller was invoked.
+    pub at: SimTime,
+    /// What prompted the invocation.
+    pub cause: ReplanCause,
+    /// Wall-clock seconds inside the allocator.
+    pub wall_secs: f64,
+    /// Devices whose variant assignment changed under the new plan.
+    pub changed: u32,
+    /// Demand shrink factor the plan applied for feasibility (1.0 = none).
+    pub shrink: f64,
 }
 
 /// Execution statistics of one worker device over a run.
@@ -230,6 +251,7 @@ enum Event {
     WorkerTimer(u32),
     BatchDone {
         device: u32,
+        batch: u64,
         accuracy: f64,
         queries: Vec<Query>,
     },
@@ -279,6 +301,23 @@ impl ServingSystem {
     ///
     /// Panics if `arrivals` is not sorted by arrival time.
     pub fn run(&mut self, arrivals: &[QueryArrival]) -> RunOutcome {
+        self.run_traced(arrivals, &mut NullSink)
+    }
+
+    /// Like [`run`](Self::run), but records a structured flight-recorder
+    /// event stream into `trace` as the run progresses.
+    ///
+    /// With a disabled sink every instrumentation site reduces to one
+    /// untaken branch, so `run` (which passes [`NullSink`]) pays nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by arrival time.
+    pub fn run_traced(
+        &mut self,
+        arrivals: &[QueryArrival],
+        trace: &mut dyn TraceSink,
+    ) -> RunOutcome {
         assert!(
             arrivals.windows(2).all(|w| w[0].at <= w[1].at),
             "arrivals must be sorted by time"
@@ -292,6 +331,7 @@ impl ServingSystem {
             .unwrap_or_else(|| mean_demand(arrivals));
 
         let cluster = self.config.cluster.clone();
+        let trace_on = trace.enabled();
         let mut engine = Engine {
             config: &self.config,
             store: &self.store,
@@ -323,9 +363,25 @@ impl ServingSystem {
             provisioned: 0,
             provision_realloc_at: None,
             device_stats: vec![DeviceStats::default(); self.config.cluster.len()],
+            trace,
+            trace_on,
+            next_batch: 0,
+            replan_log: Vec::new(),
         };
 
         let mut sim: Simulation<Event> = Simulation::new();
+        if engine.trace_on {
+            let specs: Vec<_> = engine.cluster.iter().copied().collect();
+            for spec in specs {
+                engine.emit(
+                    SimTime::ZERO,
+                    EventKind::WorkerOnline {
+                        device: spec.id,
+                        device_type: spec.device_type,
+                    },
+                );
+            }
+        }
         // Initial allocation: models are pre-loaded before the trace starts.
         engine.initial_plan(&provision);
         if !arrivals.is_empty() {
@@ -345,14 +401,10 @@ impl ServingSystem {
 
         // Account anything still queued (nothing should be, since every
         // policy eventually executes or drops, but stay safe).
-        let mut metrics = engine.metrics;
-        for w in &mut engine.workers {
-            for q in w.drain_queue() {
-                metrics.record_dropped(horizon, q.family);
-            }
-        }
+        engine.drain_leftovers();
+        engine.trace.flush();
         RunOutcome {
-            metrics,
+            metrics: engine.metrics,
             reallocations: engine.reallocations,
             burst_reallocations: engine.burst_reallocations,
             allocator_wall_secs: engine.allocator_wall_secs,
@@ -360,6 +412,7 @@ impl ServingSystem {
             shrunk_plans: engine.shrunk_plans,
             provisioned_devices: engine.provisioned,
             device_stats: engine.device_stats,
+            replan_log: engine.replan_log,
             final_plan: engine.plan,
         }
     }
@@ -403,10 +456,54 @@ struct Engine<'a> {
     provisioned: u32,
     provision_realloc_at: Option<SimTime>,
     device_stats: Vec<DeviceStats>,
+    /// Flight-recorder sink; [`NullSink`] when tracing is off.
+    trace: &'a mut dyn TraceSink,
+    /// Cached `trace.enabled()` — instrumentation sites guard event
+    /// construction behind this one branch, so a disabled sink costs
+    /// nothing on the data path.
+    trace_on: bool,
+    /// Run-unique batch id counter.
+    next_batch: u64,
+    replan_log: Vec<ReplanRecord>,
 }
 
 impl Engine<'_> {
+    fn emit(&mut self, at: SimTime, kind: EventKind) {
+        self.trace.record(&TraceEvent { at, kind });
+    }
+
+    /// Records a drop in both the metrics and the trace.
+    fn drop_query(&mut self, now: SimTime, q: &Query, reason: DropReason) {
+        self.metrics.record_dropped(now, q.family);
+        if self.trace_on {
+            self.emit(
+                now,
+                EventKind::Dropped {
+                    query: q.id.0,
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// End-of-run accounting for queries still sitting in worker queues.
+    fn drain_leftovers(&mut self) {
+        let horizon = self.horizon;
+        for d in 0..self.workers.len() {
+            for q in self.workers[d].drain_queue() {
+                self.drop_query(horizon, &q, DropReason::Drained);
+            }
+        }
+    }
     fn initial_plan(&mut self, provision: &FamilyMap<f64>) {
+        if self.trace_on {
+            self.emit(
+                SimTime::ZERO,
+                EventKind::ReplanTriggered {
+                    cause: ReplanCause::Initial,
+                },
+            );
+        }
         let ctx = AllocContext {
             cluster: &self.cluster,
             zoo: &self.config.zoo,
@@ -416,21 +513,53 @@ impl Engine<'_> {
         self.planned_for = *provision;
         let start = std::time::Instant::now();
         let plan = self.allocator.allocate(&ctx, &demand, None, SimTime::ZERO);
-        self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        let wall_secs = start.elapsed().as_secs_f64();
+        self.allocator_wall_secs += wall_secs;
         if let Some(stats) = self.allocator.last_solve_stats() {
             self.solver_stats += stats;
+            if self.trace_on {
+                self.emit_solve_stats(SimTime::ZERO, &stats);
+            }
         }
         self.reallocations += 1;
         if plan.shrink() > 1.0 {
             self.shrunk_plans += 1;
         }
         // Pre-loaded: apply without load delays.
+        let mut changed = 0u32;
         for (i, worker) in self.workers.iter_mut().enumerate() {
-            worker.set_variant(plan.assignment(proteus_profiler::DeviceId(i as u32)));
+            let assignment = plan.assignment(proteus_profiler::DeviceId(i as u32));
+            if assignment.is_some() {
+                changed += 1;
+            }
+            worker.set_variant(assignment);
             worker.set_state(WorkerState::Idle);
         }
         self.routers = Router::from_plan(&plan);
+        let shrink = plan.shrink();
         self.plan = plan;
+        self.replan_log.push(ReplanRecord {
+            at: SimTime::ZERO,
+            cause: ReplanCause::Initial,
+            wall_secs,
+            changed,
+            shrink,
+        });
+        if self.trace_on {
+            self.emit(SimTime::ZERO, EventKind::PlanApplied { changed, shrink });
+        }
+    }
+
+    fn emit_solve_stats(&mut self, at: SimTime, stats: &SolveStats) {
+        self.emit(
+            at,
+            EventKind::SolveStats {
+                nodes: stats.nodes,
+                pivots: stats.simplex_iterations,
+                warm_starts: stats.warm_starts,
+                wall_nanos: stats.wall.as_nanos() as u64,
+            },
+        );
     }
 
     fn load_delay(&mut self, variant: Option<VariantId>) -> SimTime {
@@ -483,7 +612,7 @@ impl Engine<'_> {
                 let orphans = self.workers[device].drain_queue();
                 self.cancel_timer(device, sim);
                 for q in orphans {
-                    self.metrics.record_dropped(now, q.family);
+                    self.drop_query(now, &q, DropReason::NoHost);
                 }
                 return;
             };
@@ -499,7 +628,7 @@ impl Engine<'_> {
                 BatchDecision::DropExpired(n) => {
                     let dropped = self.workers[device].take_front(n);
                     for q in dropped {
-                        self.metrics.record_dropped(now, q.family);
+                        self.drop_query(now, &q, DropReason::Expired);
                     }
                 }
                 BatchDecision::Execute(k) => {
@@ -511,12 +640,36 @@ impl Engine<'_> {
                     stats.busy += until - now;
                     stats.batches += 1;
                     stats.queries += batch.len() as u64;
+                    let batch_id = self.next_batch;
+                    self.next_batch += 1;
+                    if self.trace_on {
+                        let device_id = proteus_profiler::DeviceId(device as u32);
+                        self.emit(
+                            now,
+                            EventKind::BatchFormed {
+                                device: device_id,
+                                batch: batch_id,
+                                queries: batch.iter().map(|q| q.id.0).collect(),
+                            },
+                        );
+                        self.emit(
+                            now,
+                            EventKind::ExecStarted {
+                                device: device_id,
+                                batch: batch_id,
+                                variant,
+                                size: batch.len() as u32,
+                                until,
+                            },
+                        );
+                    }
                     self.workers[device].set_state(WorkerState::Busy(until));
                     self.cancel_timer(device, sim);
                     sim.schedule(
                         until,
                         Event::BatchDone {
                             device: device as u32,
+                            batch: batch_id,
                             accuracy: profile.accuracy(),
                             queries: batch,
                         },
@@ -548,6 +701,16 @@ impl Engine<'_> {
         worker.load_generation += 1;
         let generation = worker.load_generation;
         worker.set_state(WorkerState::Loading(now + delay));
+        if self.trace_on {
+            self.emit(
+                now,
+                EventKind::ModelLoadStarted {
+                    device: proteus_profiler::DeviceId(device as u32),
+                    variant,
+                    until: now + delay,
+                },
+            );
+        }
         sim.schedule(
             now + delay,
             Event::LoadDone {
@@ -557,9 +720,17 @@ impl Engine<'_> {
         );
     }
 
-    fn apply_plan(&mut self, plan: AllocationPlan, now: SimTime, sim: &mut Simulation<Event>) {
+    /// Puts a new plan in force, returning how many devices changed
+    /// variant assignment.
+    fn apply_plan(
+        &mut self,
+        plan: AllocationPlan,
+        now: SimTime,
+        sim: &mut Simulation<Event>,
+    ) -> u32 {
         let mut displaced: Vec<Query> = Vec::new();
         let mut to_load: Vec<usize> = Vec::new();
+        let mut changed = 0u32;
         for i in 0..self.workers.len() {
             // A plan computed just before an elastic device came online may
             // be narrower than the worker set; extra workers keep their
@@ -572,6 +743,7 @@ impl Engine<'_> {
             if new == old {
                 continue;
             }
+            changed += 1;
             // Queries of a different family than the new variant cannot stay.
             let family_changed = match (old, new) {
                 (Some(o), Some(n)) => o.family != n.family,
@@ -598,12 +770,27 @@ impl Engine<'_> {
         // Re-route displaced queries through the new routers.
         let mut touched = Vec::new();
         for q in displaced {
+            let qid = q.id.0;
             match self.route(q.family) {
                 Some(d) => match self.workers[d].enqueue(q) {
-                    Ok(()) => touched.push(d),
-                    Err(q) => self.metrics.record_dropped(now, q.family),
+                    Ok(()) => {
+                        if self.trace_on {
+                            let device = proteus_profiler::DeviceId(d as u32);
+                            self.emit(now, EventKind::Routed { query: qid, device });
+                            self.emit(
+                                now,
+                                EventKind::Enqueued {
+                                    query: qid,
+                                    device,
+                                    depth: self.workers[d].queue_len() as u32,
+                                },
+                            );
+                        }
+                        touched.push(d);
+                    }
+                    Err(q) => self.drop_query(now, &q, DropReason::QueueFull),
                 },
-                None => self.metrics.record_dropped(now, q.family),
+                None => self.drop_query(now, &q, DropReason::NoHost),
             }
         }
         touched.sort_unstable();
@@ -611,13 +798,14 @@ impl Engine<'_> {
         for d in touched {
             self.poke(d, now, sim);
         }
+        changed
     }
 
     fn route(&mut self, family: proteus_profiler::ModelFamily) -> Option<usize> {
         self.routers[family.index()].route().map(|d| d.0 as usize)
     }
 
-    fn reallocate(&mut self, now: SimTime, burst: bool, sim: &mut Simulation<Event>) {
+    fn reallocate(&mut self, now: SimTime, cause: ReplanCause, sim: &mut Simulation<Event>) {
         // Critical-path allocators (INFaaS) react to the raw last-second
         // rate — they decide per query, with no monitoring-daemon smoothing;
         // the decoupled controller plans on smoothed statistics.
@@ -628,6 +816,9 @@ impl Engine<'_> {
         };
         let demand = observed.scaled(self.config.demand_headroom);
         self.planned_for = observed;
+        if self.trace_on {
+            self.emit(now, EventKind::ReplanTriggered { cause });
+        }
         let ctx = AllocContext {
             cluster: &self.cluster,
             zoo: &self.config.zoo,
@@ -637,12 +828,16 @@ impl Engine<'_> {
         let plan = self
             .allocator
             .allocate(&ctx, &demand, Some(&self.plan), now);
-        self.allocator_wall_secs += start.elapsed().as_secs_f64();
+        let wall_secs = start.elapsed().as_secs_f64();
+        self.allocator_wall_secs += wall_secs;
         if let Some(stats) = self.allocator.last_solve_stats() {
             self.solver_stats += stats;
+            if self.trace_on {
+                self.emit_solve_stats(now, &stats);
+            }
         }
         self.reallocations += 1;
-        if burst {
+        if cause == ReplanCause::Burst {
             self.burst_reallocations += 1;
         }
         if plan.shrink() > 1.0 {
@@ -674,7 +869,18 @@ impl Engine<'_> {
                 }
             }
         }
-        self.apply_plan(plan, now, sim);
+        let shrink = plan.shrink();
+        let changed = self.apply_plan(plan, now, sim);
+        self.replan_log.push(ReplanRecord {
+            at: now,
+            cause,
+            wall_secs,
+            changed,
+            shrink,
+        });
+        if self.trace_on {
+            self.emit(now, EventKind::PlanApplied { changed, shrink });
+        }
     }
 }
 
@@ -690,12 +896,41 @@ impl Actor for Engine<'_> {
                 let slo = SimTime::from_millis_f64(self.store.slo_ms(arrival.family));
                 let query =
                     Query::new(QueryId(i as u64), arrival.family, now, slo).with_cost(arrival.cost);
+                if self.trace_on {
+                    self.emit(
+                        now,
+                        EventKind::Arrived {
+                            query: query.id.0,
+                            family: arrival.family,
+                        },
+                    );
+                }
                 match self.route(arrival.family) {
                     Some(d) => match self.workers[d].enqueue(query) {
-                        Ok(()) => self.poke(d, now, sim),
-                        Err(q) => self.metrics.record_dropped(now, q.family),
+                        Ok(()) => {
+                            if self.trace_on {
+                                let device = proteus_profiler::DeviceId(d as u32);
+                                self.emit(
+                                    now,
+                                    EventKind::Routed {
+                                        query: i as u64,
+                                        device,
+                                    },
+                                );
+                                self.emit(
+                                    now,
+                                    EventKind::Enqueued {
+                                        query: i as u64,
+                                        device,
+                                        depth: self.workers[d].queue_len() as u32,
+                                    },
+                                );
+                            }
+                            self.poke(d, now, sim)
+                        }
+                        Err(q) => self.drop_query(now, &q, DropReason::QueueFull),
                     },
-                    None => self.metrics.record_dropped(now, arrival.family),
+                    None => self.drop_query(now, &query, DropReason::NoHost),
                 }
                 if let Some(next) = self.arrivals.get(i + 1) {
                     sim.schedule(next.at, Event::NextArrival(i + 1));
@@ -708,21 +943,41 @@ impl Actor for Engine<'_> {
             }
             Event::BatchDone {
                 device,
+                batch,
                 accuracy,
                 queries,
             } => {
                 let d = device as usize;
+                if self.trace_on {
+                    self.emit(
+                        now,
+                        EventKind::ExecCompleted {
+                            device: proteus_profiler::DeviceId(device),
+                            batch,
+                        },
+                    );
+                }
                 let mut any_late = false;
                 for q in &queries {
                     let on_time = now <= q.deadline;
                     any_late |= !on_time;
-                    self.metrics.record_served_latency(
-                        now,
-                        q.family,
-                        accuracy,
-                        on_time,
-                        now.saturating_sub(q.arrived),
-                    );
+                    let latency = now.saturating_sub(q.arrived);
+                    self.metrics
+                        .record_served_latency(now, q.family, accuracy, on_time, latency);
+                    if self.trace_on {
+                        let kind = if on_time {
+                            EventKind::ServedOnTime {
+                                query: q.id.0,
+                                latency,
+                            }
+                        } else {
+                            EventKind::ServedLate {
+                                query: q.id.0,
+                                latency,
+                            }
+                        };
+                        self.emit(now, kind);
+                    }
                 }
                 self.workers[d].policy_mut().on_batch_complete(any_late);
                 self.workers[d].set_state(WorkerState::Idle);
@@ -739,6 +994,14 @@ impl Actor for Engine<'_> {
                 }
                 if matches!(self.workers[d].state(), WorkerState::Loading(_)) {
                     self.workers[d].set_state(WorkerState::Idle);
+                    if self.trace_on {
+                        self.emit(
+                            now,
+                            EventKind::ModelLoadFinished {
+                                device: proteus_profiler::DeviceId(device),
+                            },
+                        );
+                    }
                     self.poke(d, now, sim);
                 }
             }
@@ -747,7 +1010,7 @@ impl Actor for Engine<'_> {
                 if !self.allocator.is_static() {
                     if self.allocator.on_critical_path() {
                         // INFaaS-style: cheap heuristic runs every tick.
-                        self.reallocate(now, false, sim);
+                        self.reallocate(now, ReplanCause::CriticalPath, sim);
                     } else {
                         // Burst detection (monitoring daemon → controller):
                         // demand outgrowing what the plan was built for.
@@ -764,7 +1027,7 @@ impl Actor for Engine<'_> {
                             rate > 5.0 && rate > trigger
                         });
                         if calm && bursty {
-                            self.reallocate(now, true, sim);
+                            self.reallocate(now, ReplanCause::Burst, sim);
                         }
                     }
                 }
@@ -774,7 +1037,7 @@ impl Actor for Engine<'_> {
                 }
             }
             Event::Reallocate => {
-                self.reallocate(now, false, sim);
+                self.reallocate(now, ReplanCause::Periodic, sim);
                 let next = now + SimTime::from_secs_f64(self.config.realloc_period_secs);
                 if next <= self.horizon {
                     sim.schedule(next, Event::Reallocate);
@@ -790,6 +1053,15 @@ impl Actor for Engine<'_> {
                 ));
                 self.device_stats.push(DeviceStats::default());
                 self.provisioned += 1;
+                if self.trace_on {
+                    self.emit(
+                        now,
+                        EventKind::WorkerOnline {
+                            device: spec.id,
+                            device_type: spec.device_type,
+                        },
+                    );
+                }
                 // Fold new devices into service with one re-allocation per
                 // provisioning batch, after every same-instant arrival has
                 // registered (FIFO ordering guarantees this event fires
@@ -800,7 +1072,7 @@ impl Actor for Engine<'_> {
                 }
             }
             Event::ProvisionedRealloc => {
-                self.reallocate(now, false, sim);
+                self.reallocate(now, ReplanCause::Provisioned, sim);
             }
         }
     }

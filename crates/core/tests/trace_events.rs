@@ -1,0 +1,228 @@
+//! Flight-recorder integration tests: a golden JSONL trace of a tiny
+//! deterministic run, stream invariants, and blame attribution on a
+//! bursty overload.
+
+use std::path::{Path, PathBuf};
+
+use proteus_core::batching::ProteusBatching;
+use proteus_core::schedulers::{AllocContext, Allocator, ProteusAllocator};
+use proteus_core::system::{ServingSystem, SystemConfig};
+use proteus_core::{AllocationPlan, FamilyMap};
+use proteus_profiler::{Cluster, DeviceId, ModelFamily, VariantId};
+use proteus_sim::SimTime;
+use proteus_trace::{
+    blame, parse_jsonl, to_jsonl, BlameCause, EventKind, LifecycleStats, MemorySink, TraceEvent,
+};
+use proteus_workloads::{ArrivalKind, ArrivalProcess, BurstyTrace, QueryArrival, TraceBuilder};
+
+/// The committed golden trace (regenerate with `PROTEUS_REGEN_GOLDEN=1`).
+const GOLDEN: &str = include_str!("golden/tiny_trace.jsonl");
+
+/// Always hands out the same plan: one EfficientNet variant on the V100.
+/// No solver runs, so the recorded stream is free of wall-clock times and
+/// is bit-for-bit reproducible.
+#[derive(Debug)]
+struct FixedPlan;
+
+impl Allocator for FixedPlan {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn allocate(
+        &mut self,
+        _ctx: &AllocContext<'_>,
+        _demand: &FamilyMap<f64>,
+        _current: Option<&AllocationPlan>,
+        _now: SimTime,
+    ) -> AllocationPlan {
+        let mut p = AllocationPlan::empty(2);
+        p.assign(
+            DeviceId(1),
+            Some(VariantId {
+                family: ModelFamily::EfficientNet,
+                index: 0,
+            }),
+        );
+        p.set_routing(ModelFamily::EfficientNet, vec![(DeviceId(1), 1.0)]);
+        p.set_capacity(ModelFamily::EfficientNet, 1000.0);
+        p
+    }
+}
+
+/// Records the tiny deterministic run: 1 CPU + 1 V100, a fixed plan, and a
+/// uniform 5 QPS EfficientNet stream for 3 s.
+fn record_tiny_run() -> (Vec<TraceEvent>, proteus_core::system::RunOutcome) {
+    let mut config = SystemConfig::paper_testbed();
+    config.cluster = Cluster::with_counts(1, 0, 1);
+    config.realloc_period_secs = 60.0; // no periodic replans inside 3 s
+    config.burst_threshold = f64::INFINITY;
+    let arrivals: Vec<QueryArrival> = ArrivalProcess::new(ArrivalKind::Uniform, 5.0, 0)
+        .take_for_secs(3.0)
+        .into_iter()
+        .map(|at| QueryArrival::new(at, ModelFamily::EfficientNet))
+        .collect();
+    let mut system = ServingSystem::new(config, Box::new(FixedPlan), Box::new(ProteusBatching));
+    let mut sink = MemorySink::new();
+    let outcome = system.run_traced(&arrivals, &mut sink);
+    (sink.into_events(), outcome)
+}
+
+fn to_document(events: &[TraceEvent]) -> String {
+    let mut doc = String::new();
+    for e in events {
+        doc.push_str(&to_jsonl(e));
+        doc.push('\n');
+    }
+    doc
+}
+
+/// Where the golden file lives, for regeneration: prefer the cargo manifest
+/// dir, else walk up from the current directory to the repo root.
+fn golden_path() -> PathBuf {
+    let rel = Path::new("tests/golden/tiny_trace.jsonl");
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        return Path::new(dir).join(rel);
+    }
+    let rel = Path::new("crates/core").join(rel);
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let candidate = dir.join(&rel);
+        if candidate.exists() {
+            return candidate;
+        }
+        assert!(dir.pop(), "golden file not found walking up from the cwd");
+    }
+}
+
+#[test]
+fn tiny_run_matches_golden_trace() {
+    let (events, _) = record_tiny_run();
+    let doc = to_document(&events);
+    if std::env::var_os("PROTEUS_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &doc).expect("write golden");
+        return;
+    }
+    assert!(!events.is_empty(), "the tiny run must record events");
+    for (i, (got, want)) in doc.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(got, want, "first divergence at golden line {}", i + 1);
+    }
+    assert_eq!(
+        doc.lines().count(),
+        GOLDEN.lines().count(),
+        "event count drifted from the golden trace \
+         (PROTEUS_REGEN_GOLDEN=1 regenerates after intentional changes)"
+    );
+}
+
+#[test]
+fn golden_trace_round_trips_through_the_parser() {
+    let events = parse_jsonl(GOLDEN).expect("golden parses");
+    assert_eq!(to_document(&events), GOLDEN);
+    // And it is the same stream the run produces today.
+    let (recorded, _) = record_tiny_run();
+    assert_eq!(events, recorded);
+}
+
+#[test]
+fn every_arrival_has_exactly_one_terminal_event() {
+    let (events, outcome) = record_tiny_run();
+    check_terminal_invariant(&events);
+    let s = outcome.metrics.summary();
+    let stats = LifecycleStats::from_events(&events);
+    assert_eq!(stats.arrived, s.total_arrived);
+    assert_eq!(stats.served_on_time + stats.served_late, s.total_served);
+    assert_eq!(stats.dropped, s.total_dropped);
+}
+
+/// Asserts the lifecycle invariant: each `Arrived` query id gets exactly
+/// one terminal event, and no terminal appears for an unknown id.
+fn check_terminal_invariant(events: &[TraceEvent]) {
+    use std::collections::HashMap;
+    let mut terminals: HashMap<u64, u32> = HashMap::new();
+    let mut arrived: Vec<u64> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::Arrived { query, .. } => arrived.push(*query),
+            kind if kind.is_terminal() => {
+                *terminals
+                    .entry(kind.query().expect("terminals name a query"))
+                    .or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(!arrived.is_empty());
+    for q in &arrived {
+        assert_eq!(
+            terminals.get(q).copied().unwrap_or(0),
+            1,
+            "query {q} must have exactly one terminal event"
+        );
+    }
+    assert_eq!(
+        terminals.len(),
+        arrived.len(),
+        "no terminal may belong to a query that never arrived"
+    );
+}
+
+#[test]
+fn bursty_overload_blame_classifies_every_violation() {
+    // A small cluster under the paper's bursty trace: the burst overloads
+    // it, producing drops and late responses of several flavors.
+    let mut config = SystemConfig::paper_testbed();
+    config.cluster = Cluster::with_counts(4, 2, 2);
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(7)
+        .build(&BurstyTrace {
+            low_qps: 30.0,
+            high_qps: 400.0,
+            burst_start: 6,
+            burst_end: 14,
+            secs: 20,
+        });
+    let mut system = ServingSystem::new(
+        config,
+        Box::new(ProteusAllocator::default()),
+        Box::new(ProteusBatching),
+    );
+    let mut sink = MemorySink::new();
+    let outcome = system.run_traced(&arrivals, &mut sink);
+    let events = sink.into_events();
+    check_terminal_invariant(&events);
+
+    let s = outcome.metrics.summary();
+    let stats = LifecycleStats::from_events(&events);
+    assert!(
+        stats.violations() > 0,
+        "the burst must overload the cluster"
+    );
+    assert_eq!(stats.violations(), s.total_violations);
+
+    // Blame lands every violation in exactly one category.
+    let report = blame(&events);
+    assert_eq!(report.total() as u64, stats.violations());
+    let by_cause: usize = BlameCause::ALL.iter().map(|&c| report.count(c)).sum();
+    assert_eq!(by_cause, report.total(), "categories are exhaustive");
+    for v in &report.verdicts {
+        assert!(
+            BlameCause::ALL.contains(&v.cause),
+            "query {} got an unknown cause",
+            v.query
+        );
+    }
+
+    // The control plane left its footprint too: one PlanApplied per replan
+    // record, causes matching.
+    let applied = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::PlanApplied { .. }))
+        .count();
+    assert_eq!(applied, outcome.replan_log.len());
+    let triggered = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ReplanTriggered { .. }))
+        .count();
+    assert_eq!(triggered, outcome.replan_log.len());
+}

@@ -1,6 +1,7 @@
 //! Run summaries: the paper's four headline metrics (§6.1.4).
 
 use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
 
 use crate::{Bucket, MetricsCollector};
 
@@ -29,13 +30,26 @@ pub struct RunSummary {
     pub max_accuracy_drop: f64,
     /// `total_violations / total_arrived` (0 if nothing arrived).
     pub slo_violation_ratio: f64,
+    /// Median served latency. `None` when built from buckets alone (the
+    /// bucket series carries no latency distribution) or nothing served.
+    pub latency_p50: Option<SimTime>,
+    /// 95th-percentile served latency (same availability as `latency_p50`).
+    pub latency_p95: Option<SimTime>,
+    /// 99th-percentile served latency (same availability as `latency_p50`).
+    pub latency_p99: Option<SimTime>,
 }
 
 impl RunSummary {
-    /// Builds the summary from a collector.
+    /// Builds the summary from a collector, including latency percentiles
+    /// from its histogram.
     pub fn from_collector(collector: &MetricsCollector) -> Self {
         let ts = collector.timeseries();
-        Self::from_buckets(&ts, collector.interval().as_secs_f64())
+        let mut summary = Self::from_buckets(&ts, collector.interval().as_secs_f64());
+        let h = collector.latency_histogram();
+        summary.latency_p50 = h.percentile(0.50);
+        summary.latency_p95 = h.percentile(0.95);
+        summary.latency_p99 = h.percentile(0.99);
+        summary
     }
 
     /// Builds the summary from a bucket series with the given bucket width.
@@ -77,6 +91,9 @@ impl RunSummary {
             effective_accuracy,
             max_accuracy_drop,
             slo_violation_ratio,
+            latency_p50: None,
+            latency_p95: None,
+            latency_p99: None,
         }
     }
 
@@ -105,7 +122,12 @@ impl FamilySummary {
     /// observed.
     pub fn from_collector(collector: &MetricsCollector, family: ModelFamily) -> Option<Self> {
         let ts = collector.family_timeseries(family);
-        let summary = RunSummary::from_buckets(&ts, collector.interval().as_secs_f64());
+        let mut summary = RunSummary::from_buckets(&ts, collector.interval().as_secs_f64());
+        if let Some(h) = collector.family_latency(family) {
+            summary.latency_p50 = h.percentile(0.50);
+            summary.latency_p95 = h.percentile(0.95);
+            summary.latency_p99 = h.percentile(0.99);
+        }
         (summary.total_arrived > 0).then_some(Self { family, summary })
     }
 }
@@ -195,6 +217,31 @@ mod tests {
             .unwrap();
         assert_eq!(res.summary.slo_violation_ratio, 0.0);
         assert!(FamilySummary::from_collector(&m, ModelFamily::T5).is_none());
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let mut m = MetricsCollector::new(SimTime::from_secs(1));
+        for i in 1..=100u64 {
+            m.record_arrival(t(0), ModelFamily::ResNet);
+            m.record_served_latency(t(10), ModelFamily::ResNet, 1.0, true, t(i));
+        }
+        let s = m.summary();
+        let (p50, p95, p99) = (
+            s.latency_p50.unwrap(),
+            s.latency_p95.unwrap(),
+            s.latency_p99.unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // The histogram buckets are ~9 % wide; allow generous slack.
+        assert!(p50 >= t(40) && p50 <= t(65), "p50 {p50:?}");
+        assert!(p99 >= t(90) && p99 <= t(115), "p99 {p99:?}");
+        // Per-family percentiles surface through FamilySummary too.
+        let fam = FamilySummary::from_collector(&m, ModelFamily::ResNet).unwrap();
+        assert_eq!(fam.summary.latency_p99, s.latency_p99);
+        // from_buckets alone has no latency distribution to draw from.
+        let from_buckets = RunSummary::from_buckets(&m.timeseries(), 1.0);
+        assert_eq!(from_buckets.latency_p50, None);
     }
 
     #[test]

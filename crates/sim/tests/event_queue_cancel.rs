@@ -1,0 +1,96 @@
+//! Cancellation edge cases: stale keys, double-cancel, and cancellation
+//! interleaved with same-timestamp FIFO ordering.
+
+use proteus_sim::{EventQueue, SimTime};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+#[test]
+fn cancel_after_pop_is_inert() {
+    let mut q = EventQueue::new();
+    let a = q.push(t(1), "a");
+    let b = q.push(t(2), "b");
+    assert_eq!(q.pop(), Some((t(1), "a")));
+    // The key is stale: cancelling it must fail and must not disturb
+    // anything still pending.
+    assert!(!q.cancel(a));
+    assert_eq!(q.len(), 1);
+    assert_eq!(q.peek_time(), Some(t(2)));
+    assert_eq!(q.pop(), Some((t(2), "b")));
+    assert!(!q.cancel(b));
+    assert!(q.is_empty());
+}
+
+#[test]
+fn double_cancel_counts_once() {
+    let mut q = EventQueue::new();
+    let a = q.push(t(1), 1);
+    q.push(t(2), 2);
+    assert!(q.cancel(a), "first cancel succeeds");
+    assert!(!q.cancel(a), "second cancel is a no-op");
+    assert_eq!(q.len(), 1, "double-cancel must not double-decrement");
+    assert_eq!(q.pop(), Some((t(2), 2)));
+    assert_eq!(q.pop(), None);
+}
+
+#[test]
+fn cancel_inside_same_timestamp_run_keeps_fifo_of_rest() {
+    let mut q = EventQueue::new();
+    let keys: Vec<_> = (0..6).map(|i| q.push(t(5), i)).collect();
+    // Cancel the first, a middle one and the last of the equal-time run.
+    assert!(q.cancel(keys[0]));
+    assert!(q.cancel(keys[3]));
+    assert!(q.cancel(keys[5]));
+    let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+    assert_eq!(popped, [1, 2, 4], "survivors pop in insertion order");
+}
+
+#[test]
+fn cancelled_event_never_pops_even_when_reinserted_time_matches() {
+    let mut q = EventQueue::new();
+    let doomed = q.push(t(3), "doomed");
+    q.cancel(doomed);
+    // A fresh event at the very same timestamp must pop; the cancelled one
+    // must stay dead even though it is FIFO-earlier.
+    q.push(t(3), "fresh");
+    assert_eq!(q.pop(), Some((t(3), "fresh")));
+    assert_eq!(q.pop(), None);
+}
+
+#[test]
+fn interleaved_cancel_push_pop_stays_consistent() {
+    let mut q = EventQueue::new();
+    let a = q.push(t(1), "a");
+    let b = q.push(t(1), "b");
+    assert_eq!(q.pop(), Some((t(1), "a")));
+    // Cancel the stale key (no-op) and a live one, then extend the run.
+    assert!(!q.cancel(a));
+    assert!(q.cancel(b));
+    let c = q.push(t(1), "c");
+    q.push(t(1), "d");
+    assert_eq!(q.peek_time(), Some(t(1)));
+    assert_eq!(q.pop(), Some((t(1), "c")));
+    assert!(!q.cancel(c), "popped key is stale");
+    assert_eq!(q.pop(), Some((t(1), "d")));
+    assert!(q.is_empty());
+    assert_eq!(q.peek_time(), None);
+}
+
+#[test]
+fn mass_cancellation_leaves_queue_usable() {
+    let mut q = EventQueue::new();
+    let keys: Vec<_> = (0..100u32)
+        .map(|i| q.push(t(u64::from(i % 7)), i))
+        .collect();
+    for k in &keys {
+        assert!(q.cancel(*k));
+    }
+    assert!(q.is_empty());
+    assert_eq!(q.peek_time(), None);
+    assert_eq!(q.pop(), None);
+    // The queue is still fully functional afterwards.
+    q.push(t(9), 9_u32);
+    assert_eq!(q.pop(), Some((t(9), 9)));
+}

@@ -1,0 +1,683 @@
+//! Offline trace analysis: per-query lifecycle reconstruction and
+//! SLO-violation blame attribution.
+//!
+//! Both analyses operate on a recorded event stream (from a [`MemorySink`]
+//! or a parsed JSONL file) and power the `trace-query` binary.
+//!
+//! [`MemorySink`]: crate::MemorySink
+
+use std::collections::HashMap;
+
+use proteus_profiler::DeviceId;
+use proteus_sim::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Returns every event relevant to one query, in stream order: the events
+/// directly about it (`Arrived`, `Routed`, `Enqueued`, terminals) plus the
+/// batch events (`BatchFormed`, `ExecStarted`, `ExecCompleted`) of every
+/// batch it was a member of.
+pub fn query_lifecycle(events: &[TraceEvent], query: u64) -> Vec<TraceEvent> {
+    let mut batches: Vec<(DeviceId, u64)> = Vec::new();
+    for e in events {
+        if let EventKind::BatchFormed {
+            device,
+            batch,
+            queries,
+        } = &e.kind
+        {
+            if queries.contains(&query) {
+                batches.push((*device, *batch));
+            }
+        }
+    }
+    events
+        .iter()
+        .filter(|e| match &e.kind {
+            EventKind::BatchFormed { device, batch, .. }
+            | EventKind::ExecStarted { device, batch, .. }
+            | EventKind::ExecCompleted { device, batch } => batches.contains(&(*device, *batch)),
+            kind => kind.query() == Some(query),
+        })
+        .cloned()
+        .collect()
+}
+
+/// Aggregate lifecycle counts over a whole trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// `Arrived` events.
+    pub arrived: u64,
+    /// `ServedOnTime` terminals.
+    pub served_on_time: u64,
+    /// `ServedLate` terminals.
+    pub served_late: u64,
+    /// `Dropped` terminals.
+    pub dropped: u64,
+}
+
+impl LifecycleStats {
+    /// Counts lifecycle events in a trace.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = Self::default();
+        for e in events {
+            match e.kind {
+                EventKind::Arrived { .. } => s.arrived += 1,
+                EventKind::ServedOnTime { .. } => s.served_on_time += 1,
+                EventKind::ServedLate { .. } => s.served_late += 1,
+                EventKind::Dropped { .. } => s.dropped += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Total terminal events.
+    pub fn terminals(&self) -> u64 {
+        self.served_on_time + self.served_late + self.dropped
+    }
+
+    /// SLO violations: late responses plus drops.
+    pub fn violations(&self) -> u64 {
+        self.served_late + self.dropped
+    }
+}
+
+/// The dominant cause of one SLO violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlameCause {
+    /// The worker was busy executing other batches while the query waited.
+    Queueing,
+    /// The worker was swapping model variants while the query waited.
+    ModelLoad,
+    /// The worker sat idle (or the batching policy held the query back)
+    /// while the query waited — or execution time alone blew the deadline.
+    BatchWait,
+    /// The system rejected the query outright (full queue, no host, or the
+    /// end-of-run drain).
+    Shed,
+}
+
+impl BlameCause {
+    /// Every cause, in reporting order.
+    pub const ALL: [BlameCause; 4] = [
+        BlameCause::Queueing,
+        BlameCause::ModelLoad,
+        BlameCause::BatchWait,
+        BlameCause::Shed,
+    ];
+
+    /// Stable label used in reports and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlameCause::Queueing => "queueing",
+            BlameCause::ModelLoad => "model_load",
+            BlameCause::BatchWait => "batch_wait",
+            BlameCause::Shed => "shed",
+        }
+    }
+}
+
+/// One classified SLO violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlameVerdict {
+    /// The violating query.
+    pub query: u64,
+    /// When its terminal event occurred.
+    pub at: SimTime,
+    /// The dominant cause.
+    pub cause: BlameCause,
+    /// Portion of the wait window the worker spent executing other batches.
+    pub queueing: SimTime,
+    /// Portion of the wait window the worker spent loading a model.
+    pub model_load: SimTime,
+    /// Remainder of the wait window (idle worker / batching hold-back).
+    pub batch_wait: SimTime,
+}
+
+/// Blame attribution over a whole trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlameReport {
+    /// One verdict per SLO violation, in terminal-event order.
+    pub verdicts: Vec<BlameVerdict>,
+}
+
+impl BlameReport {
+    /// Number of violations blamed on `cause`.
+    pub fn count(&self, cause: BlameCause) -> usize {
+        self.verdicts.iter().filter(|v| v.cause == cause).count()
+    }
+
+    /// Total classified violations.
+    pub fn total(&self) -> usize {
+        self.verdicts.len()
+    }
+}
+
+/// Classifies every SLO violation in the trace into exactly one
+/// [`BlameCause`].
+///
+/// Violations are `ServedLate` and `Dropped` terminals. Shed drops
+/// (`queue_full`, `no_host`, `drained`) are blamed on admission directly.
+/// For the rest, the query's *wait window* — from its (last) `Enqueued` to
+/// the start of the batch that served it (late responses) or to the drop
+/// instant (expiries) — is decomposed against the worker's recorded
+/// timeline:
+///
+/// * overlap with `ModelLoadStarted..until` intervals → **model-load stall**;
+/// * overlap with *other* batches' `ExecStarted..until` intervals →
+///   **queueing delay**;
+/// * the remainder → **batch-wait** (the worker was idle but the batching
+///   policy held the query back).
+///
+/// The largest component wins; ties break queueing → model-load →
+/// batch-wait. A zero-length window means waiting was not the problem:
+/// late responses are blamed on batch-wait (execution time alone blew the
+/// deadline) and expiries on queueing. Every violation therefore lands in
+/// exactly one category by construction.
+pub fn blame(events: &[TraceEvent]) -> BlameReport {
+    // Per-device timelines and per-query routing state, one pass.
+    let mut loads: HashMap<u32, Vec<(SimTime, SimTime)>> = HashMap::new();
+    let mut execs: HashMap<u32, Vec<(SimTime, SimTime, u64)>> = HashMap::new();
+    let mut enqueued_at: HashMap<u64, (SimTime, DeviceId)> = HashMap::new();
+    let mut serving_batch: HashMap<u64, (DeviceId, u64)> = HashMap::new();
+    let mut exec_start: HashMap<(u32, u64), SimTime> = HashMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::ModelLoadStarted { device, until, .. } => {
+                loads.entry(device.0).or_default().push((e.at, *until));
+            }
+            EventKind::ExecStarted {
+                device,
+                batch,
+                until,
+                ..
+            } => {
+                execs
+                    .entry(device.0)
+                    .or_default()
+                    .push((e.at, *until, *batch));
+                exec_start.insert((device.0, *batch), e.at);
+            }
+            EventKind::Enqueued { query, device, .. } => {
+                enqueued_at.insert(*query, (e.at, *device));
+            }
+            EventKind::BatchFormed {
+                device,
+                batch,
+                queries,
+            } => {
+                for q in queries {
+                    serving_batch.insert(*q, (*device, *batch));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let overlap = |a0: SimTime, a1: SimTime, b0: SimTime, b1: SimTime| -> u64 {
+        let lo = a0.max(b0).as_nanos();
+        let hi = a1.min(b1).as_nanos();
+        hi.saturating_sub(lo)
+    };
+
+    let mut report = BlameReport::default();
+    for e in events {
+        let (query, window_end, expired) = match &e.kind {
+            EventKind::ServedLate { query, .. } => {
+                let end = serving_batch
+                    .get(query)
+                    .and_then(|&(d, b)| exec_start.get(&(d.0, b)))
+                    .copied();
+                (*query, end, false)
+            }
+            EventKind::Dropped { query, reason } => {
+                if reason.is_shed() {
+                    report.verdicts.push(BlameVerdict {
+                        query: *query,
+                        at: e.at,
+                        cause: BlameCause::Shed,
+                        queueing: SimTime::ZERO,
+                        model_load: SimTime::ZERO,
+                        batch_wait: SimTime::ZERO,
+                    });
+                    continue;
+                }
+                (*query, Some(e.at), true)
+            }
+            _ => continue,
+        };
+
+        let (start, device) = match enqueued_at.get(&query) {
+            Some(&(t, d)) => (t, d),
+            // Never enqueued (shouldn't happen for non-shed terminals):
+            // treat as a zero-length window.
+            None => (e.at, DeviceId(u32::MAX)),
+        };
+        let end = window_end.unwrap_or(start);
+        let own_batch = serving_batch.get(&query).copied();
+
+        let load_ns: u64 = loads
+            .get(&device.0)
+            .map(|v| v.iter().map(|&(a, b)| overlap(start, end, a, b)).sum())
+            .unwrap_or(0);
+        let busy_ns: u64 = execs
+            .get(&device.0)
+            .map(|v| {
+                v.iter()
+                    .filter(|&&(_, _, b)| own_batch != Some((device, b)))
+                    .map(|&(a, b, _)| overlap(start, end, a, b))
+                    .sum()
+            })
+            .unwrap_or(0);
+        let window_ns = end.saturating_sub(start).as_nanos();
+        let wait_ns = window_ns.saturating_sub(load_ns + busy_ns);
+
+        let cause = if window_ns == 0 {
+            if expired {
+                BlameCause::Queueing
+            } else {
+                BlameCause::BatchWait
+            }
+        } else if busy_ns >= load_ns && busy_ns >= wait_ns {
+            BlameCause::Queueing
+        } else if load_ns >= wait_ns {
+            BlameCause::ModelLoad
+        } else {
+            BlameCause::BatchWait
+        };
+
+        report.verdicts.push(BlameVerdict {
+            query,
+            at: e.at,
+            cause,
+            queueing: SimTime::from_nanos(busy_ns),
+            model_load: SimTime::from_nanos(load_ns),
+            batch_wait: SimTime::from_nanos(wait_ns),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+    use proteus_profiler::{ModelFamily, VariantId};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn ev(ms: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { at: t(ms), kind }
+    }
+
+    fn variant() -> VariantId {
+        VariantId {
+            family: ModelFamily::ResNet,
+            index: 0,
+        }
+    }
+
+    /// d0 serves q1 in batch 1 (0–100 ms), then q2 late in batch 2.
+    fn busy_device_trace() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                EventKind::Arrived {
+                    query: 1,
+                    family: ModelFamily::ResNet,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 1,
+                    device: DeviceId(0),
+                    depth: 1,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Arrived {
+                    query: 2,
+                    family: ModelFamily::ResNet,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 2,
+                    device: DeviceId(0),
+                    depth: 2,
+                },
+            ),
+            ev(
+                0,
+                EventKind::BatchFormed {
+                    device: DeviceId(0),
+                    batch: 1,
+                    queries: vec![1],
+                },
+            ),
+            ev(
+                0,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: variant(),
+                    size: 1,
+                    until: t(100),
+                },
+            ),
+            ev(
+                100,
+                EventKind::ExecCompleted {
+                    device: DeviceId(0),
+                    batch: 1,
+                },
+            ),
+            ev(
+                100,
+                EventKind::ServedOnTime {
+                    query: 1,
+                    latency: t(100),
+                },
+            ),
+            ev(
+                100,
+                EventKind::BatchFormed {
+                    device: DeviceId(0),
+                    batch: 2,
+                    queries: vec![2],
+                },
+            ),
+            ev(
+                100,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 2,
+                    variant: variant(),
+                    size: 1,
+                    until: t(200),
+                },
+            ),
+            ev(
+                200,
+                EventKind::ExecCompleted {
+                    device: DeviceId(0),
+                    batch: 2,
+                },
+            ),
+            ev(
+                200,
+                EventKind::ServedLate {
+                    query: 2,
+                    latency: t(200),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn lifecycle_includes_batch_events() {
+        let events = busy_device_trace();
+        let life = query_lifecycle(&events, 2);
+        let names: Vec<&str> = life.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "arrived",
+                "enqueued",
+                "batch_formed",
+                "exec_started",
+                "exec_completed",
+                "served_late"
+            ]
+        );
+        // q1's lifecycle must not include q2's batch.
+        let life1 = query_lifecycle(&events, 1);
+        assert!(life1
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::ExecStarted { batch: 2, .. })));
+    }
+
+    #[test]
+    fn stats_count_terminals() {
+        let s = LifecycleStats::from_events(&busy_device_trace());
+        assert_eq!(s.arrived, 2);
+        assert_eq!(s.terminals(), 2);
+        assert_eq!(s.violations(), 1);
+    }
+
+    #[test]
+    fn late_behind_busy_worker_is_queueing() {
+        let report = blame(&busy_device_trace());
+        assert_eq!(report.total(), 1);
+        let v = &report.verdicts[0];
+        assert_eq!(v.query, 2);
+        assert_eq!(v.cause, BlameCause::Queueing);
+        assert_eq!(v.queueing, t(100));
+        assert_eq!(v.model_load, SimTime::ZERO);
+    }
+
+    #[test]
+    fn late_behind_model_load_is_blamed_on_load() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 1,
+                    device: DeviceId(0),
+                    depth: 1,
+                },
+            ),
+            ev(
+                0,
+                EventKind::ModelLoadStarted {
+                    device: DeviceId(0),
+                    variant: Some(variant()),
+                    until: t(900),
+                },
+            ),
+            ev(
+                900,
+                EventKind::ModelLoadFinished {
+                    device: DeviceId(0),
+                },
+            ),
+            ev(
+                900,
+                EventKind::BatchFormed {
+                    device: DeviceId(0),
+                    batch: 1,
+                    queries: vec![1],
+                },
+            ),
+            ev(
+                900,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: variant(),
+                    size: 1,
+                    until: t(950),
+                },
+            ),
+            ev(
+                950,
+                EventKind::ServedLate {
+                    query: 1,
+                    latency: t(950),
+                },
+            ),
+        ];
+        let report = blame(&events);
+        assert_eq!(report.verdicts[0].cause, BlameCause::ModelLoad);
+        assert_eq!(report.verdicts[0].model_load, t(900));
+    }
+
+    #[test]
+    fn idle_worker_wait_is_batch_wait() {
+        // Worker does nothing for 500 ms while the query sits queued: the
+        // batching policy held it back.
+        let events = vec![
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 1,
+                    device: DeviceId(0),
+                    depth: 1,
+                },
+            ),
+            ev(
+                500,
+                EventKind::BatchFormed {
+                    device: DeviceId(0),
+                    batch: 1,
+                    queries: vec![1],
+                },
+            ),
+            ev(
+                500,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: variant(),
+                    size: 1,
+                    until: t(600),
+                },
+            ),
+            ev(
+                600,
+                EventKind::ServedLate {
+                    query: 1,
+                    latency: t(600),
+                },
+            ),
+        ];
+        let report = blame(&events);
+        assert_eq!(report.verdicts[0].cause, BlameCause::BatchWait);
+        assert_eq!(report.verdicts[0].batch_wait, t(500));
+    }
+
+    #[test]
+    fn shed_drops_are_shed_and_expiry_decomposes() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::Dropped {
+                    query: 1,
+                    reason: DropReason::QueueFull,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Dropped {
+                    query: 2,
+                    reason: DropReason::NoHost,
+                },
+            ),
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 3,
+                    device: DeviceId(0),
+                    depth: 1,
+                },
+            ),
+            // d0 busy the whole time q3 waited → its expiry is queueing.
+            ev(
+                0,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: variant(),
+                    size: 1,
+                    until: t(400),
+                },
+            ),
+            ev(
+                300,
+                EventKind::Dropped {
+                    query: 3,
+                    reason: DropReason::Expired,
+                },
+            ),
+            ev(
+                900,
+                EventKind::Dropped {
+                    query: 4,
+                    reason: DropReason::Drained,
+                },
+            ),
+        ];
+        let report = blame(&events);
+        assert_eq!(report.total(), 4);
+        assert_eq!(report.count(BlameCause::Shed), 3);
+        assert_eq!(report.count(BlameCause::Queueing), 1);
+        let q3 = report.verdicts.iter().find(|v| v.query == 3).unwrap();
+        assert_eq!(q3.queueing, t(300));
+    }
+
+    #[test]
+    fn every_violation_gets_exactly_one_cause() {
+        let mut events = busy_device_trace();
+        events.push(ev(
+            900,
+            EventKind::Dropped {
+                query: 9,
+                reason: DropReason::Drained,
+            },
+        ));
+        let stats = LifecycleStats::from_events(&events);
+        let report = blame(&events);
+        assert_eq!(report.total() as u64, stats.violations());
+        let by_cause: usize = BlameCause::ALL.iter().map(|&c| report.count(c)).sum();
+        assert_eq!(by_cause, report.total());
+    }
+
+    #[test]
+    fn zero_window_late_response_is_batch_wait() {
+        // Enqueued and executed at the same instant; the response was late
+        // purely because execution itself was slow.
+        let events = vec![
+            ev(
+                0,
+                EventKind::Enqueued {
+                    query: 1,
+                    device: DeviceId(0),
+                    depth: 1,
+                },
+            ),
+            ev(
+                0,
+                EventKind::BatchFormed {
+                    device: DeviceId(0),
+                    batch: 1,
+                    queries: vec![1],
+                },
+            ),
+            ev(
+                0,
+                EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: variant(),
+                    size: 1,
+                    until: t(700),
+                },
+            ),
+            ev(
+                700,
+                EventKind::ServedLate {
+                    query: 1,
+                    latency: t(700),
+                },
+            ),
+        ];
+        let report = blame(&events);
+        assert_eq!(report.verdicts[0].cause, BlameCause::BatchWait);
+    }
+}

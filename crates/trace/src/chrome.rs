@@ -1,0 +1,238 @@
+//! Chrome Trace Event Format export.
+//!
+//! Produces the JSON-object form (`{"traceEvents":[...]}`) of the Trace
+//! Event Format, which loads directly in `chrome://tracing` and in
+//! [Perfetto](https://ui.perfetto.dev). Workers are rendered as tracks
+//! (one `tid` per device), batch executions and model loads as duration
+//! spans, and control-plane decisions as instants on a dedicated
+//! controller track.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// `tid` of the synthetic control-plane track (device ids are small and
+/// dense, so this can never collide with a worker track).
+const CONTROLLER_TID: u64 = 1_000_000;
+
+/// Renders a recorded run as a Chrome-trace JSON document.
+///
+/// Timestamps are converted from simulated nanoseconds to the format's
+/// microseconds with sub-microsecond precision preserved as decimals.
+pub fn export_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(line);
+    };
+
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"proteus\"}}",
+        &mut out,
+    );
+    emit(
+        &format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{CONTROLLER_TID},\
+             \"args\":{{\"name\":\"controller\"}}}}"
+        ),
+        &mut out,
+    );
+    emit(
+        &format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{CONTROLLER_TID},\
+             \"args\":{{\"sort_index\":-1}}}}"
+        ),
+        &mut out,
+    );
+
+    for event in events {
+        let ts = micros(event.at.as_nanos());
+        match &event.kind {
+            EventKind::WorkerOnline {
+                device,
+                device_type,
+            } => {
+                // The metadata event guarantees one track per worker even if
+                // it never executes a batch.
+                emit(
+                    &format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                         \"args\":{{\"name\":\"worker {} ({})\"}}}}",
+                        device.0,
+                        device,
+                        device_type.label()
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::ExecStarted {
+                device,
+                batch,
+                variant,
+                size,
+                until,
+            } => {
+                let dur = micros(until.saturating_sub(event.at).as_nanos());
+                emit(
+                    &format!(
+                        "{{\"name\":\"{variant} \u{00d7}{size}\",\"cat\":\"batch\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{},\
+                         \"args\":{{\"batch\":{batch},\"size\":{size}}}}}",
+                        device.0
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::ModelLoadStarted {
+                device,
+                variant,
+                until,
+            } => {
+                let dur = micros(until.saturating_sub(event.at).as_nanos());
+                let name = match variant {
+                    Some(v) => format!("load {v}"),
+                    None => "unload".to_string(),
+                };
+                emit(
+                    &format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"load\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{}}}",
+                        device.0
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::ReplanTriggered { cause } => {
+                emit(
+                    &format!(
+                        "{{\"name\":\"replan ({})\",\"cat\":\"control\",\"ph\":\"i\",\
+                         \"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\"s\":\"t\"}}",
+                        cause.label()
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::PlanApplied { changed, shrink } => {
+                emit(
+                    &format!(
+                        "{{\"name\":\"plan applied\",\"cat\":\"control\",\"ph\":\"i\",\
+                         \"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\"s\":\"t\",\
+                         \"args\":{{\"changed\":{changed},\"shrink\":{shrink}}}}}"
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::Dropped { query, reason } => {
+                emit(
+                    &format!(
+                        "{{\"name\":\"drop ({})\",\"cat\":\"drop\",\"ph\":\"i\",\
+                         \"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\"s\":\"t\",\
+                         \"args\":{{\"query\":{query}}}}}",
+                        reason.label()
+                    ),
+                    &mut out,
+                );
+            }
+            // Per-query bookkeeping events don't render usefully as tracks;
+            // the JSONL format plus `trace-query` covers them.
+            _ => {}
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Nanoseconds → the format's microseconds, as a decimal literal.
+fn micros(nanos: u64) -> String {
+    if nanos % 1_000 == 0 {
+        format!("{}", nanos / 1_000)
+    } else {
+        format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReplanCause;
+    use proteus_profiler::{DeviceId, DeviceType, ModelFamily, VariantId};
+    use proteus_sim::SimTime;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: SimTime::ZERO,
+                kind: EventKind::WorkerOnline {
+                    device: DeviceId(0),
+                    device_type: DeviceType::V100,
+                },
+            },
+            TraceEvent {
+                at: SimTime::ZERO,
+                kind: EventKind::WorkerOnline {
+                    device: DeviceId(1),
+                    device_type: DeviceType::Cpu,
+                },
+            },
+            TraceEvent {
+                at: SimTime::from_millis(5),
+                kind: EventKind::ReplanTriggered {
+                    cause: ReplanCause::Initial,
+                },
+            },
+            TraceEvent {
+                at: SimTime::from_nanos(7_500_500),
+                kind: EventKind::ExecStarted {
+                    device: DeviceId(0),
+                    batch: 1,
+                    variant: VariantId {
+                        family: ModelFamily::ResNet,
+                        index: 3,
+                    },
+                    size: 4,
+                    until: SimTime::from_nanos(9_500_500),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn one_track_per_worker() {
+        let doc = export_chrome(&sample());
+        assert!(doc.contains("worker d0 (V100)"));
+        assert!(doc.contains("worker d1 (CPU)"));
+        assert!(doc.contains("\"name\":\"controller\""));
+    }
+
+    #[test]
+    fn batches_become_duration_spans() {
+        let doc = export_chrome(&sample());
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":7500.500"));
+        assert!(doc.contains("\"dur\":2000"));
+        assert!(doc.contains("ResNet#3"));
+    }
+
+    #[test]
+    fn document_shape_is_wellformed() {
+        let doc = export_chrome(&sample());
+        assert!(doc.starts_with("{\"traceEvents\":[\n"));
+        assert!(doc.trim_end().ends_with("]}"));
+        // Every entry line is a complete object followed by a comma or the
+        // closing bracket; a cheap brace-balance check catches truncation.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_trace_still_exports() {
+        let doc = export_chrome(&[]);
+        assert!(doc.contains("traceEvents"));
+        assert!(doc.contains("controller"));
+    }
+}

@@ -1,0 +1,323 @@
+//! The typed event schema covering the full query lifecycle, worker state
+//! transitions and control-plane decisions.
+
+use proteus_profiler::{DeviceId, DeviceType, ModelFamily, VariantId};
+use proteus_sim::SimTime;
+
+/// Why a query was dropped instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The target worker's bounded queue was full on enqueue.
+    QueueFull,
+    /// No device hosted (or was planned to host) the query's family.
+    NoHost,
+    /// The query expired in a queue and was shed by the batching policy.
+    Expired,
+    /// Still queued when the run's drain window closed.
+    Drained,
+}
+
+impl DropReason {
+    /// Every reason, in serialization order.
+    pub const ALL: [DropReason; 4] = [
+        DropReason::QueueFull,
+        DropReason::NoHost,
+        DropReason::Expired,
+        DropReason::Drained,
+    ];
+
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::NoHost => "no_host",
+            DropReason::Expired => "expired",
+            DropReason::Drained => "drained",
+        }
+    }
+
+    /// Parses a wire label back into a reason.
+    pub fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|r| r.label() == label)
+    }
+
+    /// Whether the system rejected the query outright (as opposed to the
+    /// query dying of old age in a queue). Shed drops blame the admission
+    /// decision; expiry drops blame whatever delayed the queue.
+    pub fn is_shed(self) -> bool {
+        !matches!(self, DropReason::Expired)
+    }
+}
+
+/// What prompted the Resource Manager to produce a new plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplanCause {
+    /// The pre-trace provisioning allocation.
+    Initial,
+    /// The periodic re-allocation timer.
+    Periodic,
+    /// The monitoring daemon detected a demand burst.
+    Burst,
+    /// A critical-path allocator (INFaaS) re-plans every monitoring tick.
+    CriticalPath,
+    /// Elastic devices came online (§7 tandem extension).
+    Provisioned,
+}
+
+impl ReplanCause {
+    /// Every cause, in serialization order.
+    pub const ALL: [ReplanCause; 5] = [
+        ReplanCause::Initial,
+        ReplanCause::Periodic,
+        ReplanCause::Burst,
+        ReplanCause::CriticalPath,
+        ReplanCause::Provisioned,
+    ];
+
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplanCause::Initial => "initial",
+            ReplanCause::Periodic => "periodic",
+            ReplanCause::Burst => "burst",
+            ReplanCause::CriticalPath => "critical_path",
+            ReplanCause::Provisioned => "provisioned",
+        }
+    }
+
+    /// Parses a wire label back into a cause.
+    pub fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+/// One timestamped flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Everything the flight recorder can observe.
+///
+/// The schema has three layers, mirroring the system architecture:
+///
+/// * **query lifecycle** — `Arrived` → `Routed` → `Enqueued` →
+///   (`BatchFormed`/`ExecStarted` → `ExecCompleted`) → exactly one terminal
+///   event (`ServedOnTime`, `ServedLate` or `Dropped`);
+/// * **worker state** — `WorkerOnline`, `ModelLoadStarted`/`Finished`;
+/// * **control plane** — `ReplanTriggered` → `SolveStats` → `PlanApplied`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A worker joined the cluster (at start-up, or later via elastic
+    /// provisioning).
+    WorkerOnline {
+        /// The worker's device id.
+        device: DeviceId,
+        /// Its hardware type.
+        device_type: DeviceType,
+    },
+    /// A query arrived at the load balancer.
+    Arrived {
+        /// Run-unique query id.
+        query: u64,
+        /// The application (query type) it belongs to.
+        family: ModelFamily,
+    },
+    /// The family's router picked a target worker.
+    Routed {
+        /// The query.
+        query: u64,
+        /// The chosen worker.
+        device: DeviceId,
+    },
+    /// The query entered a worker queue.
+    Enqueued {
+        /// The query.
+        query: u64,
+        /// The worker whose queue it joined.
+        device: DeviceId,
+        /// Queue depth *after* the insert.
+        depth: u32,
+    },
+    /// The batching policy formed a batch from the queue head.
+    BatchFormed {
+        /// The executing worker.
+        device: DeviceId,
+        /// Run-unique batch id.
+        batch: u64,
+        /// The member query ids, in queue order.
+        queries: Vec<u64>,
+    },
+    /// Batch execution began (same instant as its `BatchFormed`).
+    ExecStarted {
+        /// The executing worker.
+        device: DeviceId,
+        /// The batch.
+        batch: u64,
+        /// The serving model variant.
+        variant: VariantId,
+        /// Number of member queries.
+        size: u32,
+        /// Predicted completion time.
+        until: SimTime,
+    },
+    /// Batch execution finished.
+    ExecCompleted {
+        /// The executing worker.
+        device: DeviceId,
+        /// The batch.
+        batch: u64,
+    },
+    /// Terminal: the query's response met its SLO.
+    ServedOnTime {
+        /// The query.
+        query: u64,
+        /// End-to-end response latency.
+        latency: SimTime,
+    },
+    /// Terminal: a response was produced after the deadline.
+    ServedLate {
+        /// The query.
+        query: u64,
+        /// End-to-end response latency.
+        latency: SimTime,
+    },
+    /// Terminal: no response was produced.
+    Dropped {
+        /// The query.
+        query: u64,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A model swap (container start + weight load) began.
+    ModelLoadStarted {
+        /// The loading worker.
+        device: DeviceId,
+        /// The variant being loaded (`None` = unloading).
+        variant: Option<VariantId>,
+        /// When the worker will be serviceable again.
+        until: SimTime,
+    },
+    /// The model swap completed and the worker is serviceable.
+    ModelLoadFinished {
+        /// The worker.
+        device: DeviceId,
+    },
+    /// The Resource Manager was invoked.
+    ReplanTriggered {
+        /// What prompted the invocation.
+        cause: ReplanCause,
+    },
+    /// A new plan took effect.
+    PlanApplied {
+        /// Devices whose variant assignment changed.
+        changed: u32,
+        /// Demand shrink factor applied for feasibility (1.0 = none).
+        shrink: f64,
+    },
+    /// Solver statistics of the replan that just completed (only emitted by
+    /// solver-backed allocators).
+    SolveStats {
+        /// Branch-and-bound nodes explored.
+        nodes: u64,
+        /// Simplex pivots across every relaxation.
+        pivots: u64,
+        /// Warm-started node relaxations.
+        warm_starts: u64,
+        /// Wall-clock nanoseconds inside the solver.
+        wall_nanos: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable wire name of the event type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::WorkerOnline { .. } => "worker_online",
+            EventKind::Arrived { .. } => "arrived",
+            EventKind::Routed { .. } => "routed",
+            EventKind::Enqueued { .. } => "enqueued",
+            EventKind::BatchFormed { .. } => "batch_formed",
+            EventKind::ExecStarted { .. } => "exec_started",
+            EventKind::ExecCompleted { .. } => "exec_completed",
+            EventKind::ServedOnTime { .. } => "served_on_time",
+            EventKind::ServedLate { .. } => "served_late",
+            EventKind::Dropped { .. } => "dropped",
+            EventKind::ModelLoadStarted { .. } => "model_load_started",
+            EventKind::ModelLoadFinished { .. } => "model_load_finished",
+            EventKind::ReplanTriggered { .. } => "replan_triggered",
+            EventKind::PlanApplied { .. } => "plan_applied",
+            EventKind::SolveStats { .. } => "solve_stats",
+        }
+    }
+
+    /// The query this event is directly about, if any (batch membership is
+    /// expressed through [`EventKind::BatchFormed::queries`]).
+    pub fn query(&self) -> Option<u64> {
+        match *self {
+            EventKind::Arrived { query, .. }
+            | EventKind::Routed { query, .. }
+            | EventKind::Enqueued { query, .. }
+            | EventKind::ServedOnTime { query, .. }
+            | EventKind::ServedLate { query, .. }
+            | EventKind::Dropped { query, .. } => Some(query),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a query-terminal event (`Served*` or `Dropped`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ServedOnTime { .. }
+                | EventKind::ServedLate { .. }
+                | EventKind::Dropped { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for r in DropReason::ALL {
+            assert_eq!(DropReason::parse(r.label()), Some(r));
+        }
+        for c in ReplanCause::ALL {
+            assert_eq!(ReplanCause::parse(c.label()), Some(c));
+        }
+        assert_eq!(DropReason::parse("nope"), None);
+        assert_eq!(ReplanCause::parse("nope"), None);
+    }
+
+    #[test]
+    fn shed_classification() {
+        assert!(DropReason::QueueFull.is_shed());
+        assert!(DropReason::NoHost.is_shed());
+        assert!(DropReason::Drained.is_shed());
+        assert!(!DropReason::Expired.is_shed());
+    }
+
+    #[test]
+    fn query_extraction_and_terminality() {
+        let served = EventKind::ServedOnTime {
+            query: 7,
+            latency: SimTime::from_millis(3),
+        };
+        assert_eq!(served.query(), Some(7));
+        assert!(served.is_terminal());
+        let formed = EventKind::BatchFormed {
+            device: DeviceId(0),
+            batch: 1,
+            queries: vec![7],
+        };
+        assert_eq!(formed.query(), None);
+        assert!(!formed.is_terminal());
+        assert_eq!(formed.name(), "batch_formed");
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`workloads`] — arrival processes and trace generators.
 //! * [`solver`] — the from-scratch Simplex/branch-and-bound MILP solver.
 //! * [`metrics`] — run metrics and report rendering.
+//! * [`trace`] — the flight recorder: structured event tracing, JSONL and
+//!   Chrome-trace export, and offline blame analysis.
 //! * [`sim`] — the deterministic discrete-event engine underneath it all.
 //!
 //! # Quick start
@@ -38,4 +40,5 @@ pub use proteus_metrics as metrics;
 pub use proteus_profiler as profiler;
 pub use proteus_sim as sim;
 pub use proteus_solver as solver;
+pub use proteus_trace as trace;
 pub use proteus_workloads as workloads;

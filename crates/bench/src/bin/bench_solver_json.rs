@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use proteus_core::allocation::audit::audit_plan;
 use proteus_core::allocation::milp::{solve_allocation, Formulation, MilpConfig};
 use proteus_core::schedulers::AllocContext;
 use proteus_core::FamilyMap;
@@ -81,6 +82,15 @@ fn measure(cluster: &Cluster, zoo: &ModelZoo, families: usize, per_device: bool)
         let secs = start.elapsed().as_secs_f64();
         let m = match &outcome {
             Ok(o) => {
+                // Every solve in the sweep is re-verified by the
+                // independent plan auditor; a violation is a solver bug
+                // and fails the whole benchmark run.
+                let report = audit_plan(&ctx, &demand, &o.plan);
+                assert!(
+                    report.is_clean(),
+                    "plan audit failed for {}-family instance: {report}",
+                    families
+                );
                 let acc = o.plan.planned_accuracy(&ctx);
                 let (sum, n) = ModelFamily::ALL
                     .iter()

@@ -5,6 +5,8 @@
 //! line-up, the standard workload, and result-table helpers so that all
 //! experiments agree on their setup.
 
+#![forbid(unsafe_code)]
+
 use proteus_core::batching::{AimdBatching, BatchPolicy, NexusBatching, ProteusBatching};
 use proteus_core::schedulers::{
     Allocator, ClipperAllocator, ClipperMode, InfaasAccuracyAllocator, ProteusAllocator,

@@ -144,6 +144,14 @@ fn describe(kind: &EventKind) -> String {
             "solver: {nodes} nodes, {pivots} pivots, {warm_starts} warm starts, {} ms wall",
             fmt_f(*wall_nanos as f64 / 1e6, 2)
         ),
+        EventKind::AuditReport {
+            violations,
+            devices_checked,
+            families_checked,
+        } => format!(
+            "plan audit: {violations} violation(s) over {devices_checked} devices, \
+             {families_checked} families"
+        ),
     }
 }
 

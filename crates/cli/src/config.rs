@@ -109,6 +109,10 @@ pub struct ExperimentConfig {
     pub beta: f64,
     /// Output format.
     pub output: OutputKind,
+    /// Run the independent plan auditor on every replan and DES-invariant
+    /// checks at end of run, even in release builds (`--audit` flag or
+    /// `audit = true`).
+    pub audit: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -126,6 +130,7 @@ impl Default for ExperimentConfig {
             realloc_period_secs: 30.0,
             beta: 1.05,
             output: OutputKind::Summary,
+            audit: false,
         }
     }
 }
@@ -227,6 +232,13 @@ impl FromStr for ExperimentConfig {
                     config.realloc_period_secs = num(value)?
                 }
                 "beta" => config.beta = num(value)?,
+                "audit" => {
+                    config.audit = match value {
+                        "true" | "on" | "1" => true,
+                        "false" | "off" | "0" => false,
+                        other => return Err(bad(format!("bad audit value `{other}`"))),
+                    }
+                }
                 "output" => {
                     config.output = match value {
                         "summary" => OutputKind::Summary,

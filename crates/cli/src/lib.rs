@@ -13,6 +13,8 @@
 //! See [`config::ExperimentConfig`] for the file format and [`run_experiment`]
 //! for the programmatic entry point.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 mod runner;
 

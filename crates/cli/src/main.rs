@@ -31,12 +31,15 @@ output = summary           # summary | timeseries | families | latency
 ";
 
 const USAGE: &str = "\
-usage: proteus <config-file> [--trace <path>] [--trace-format jsonl|chrome]
+usage: proteus <config-file> [--audit] [--trace <path>] [--trace-format jsonl|chrome]
        proteus --print-default-config
 
 Runs a Proteus inference-serving experiment described by a
 `key = value` configuration file (see --print-default-config).
 
+  --audit                 re-verify every plan with the independent
+                          auditor (Eqs. 1-7) and check DES invariants;
+                          exits nonzero on any violation
   --trace <path>          record flight-recorder events to <path>
   --trace-format <fmt>    jsonl (default; analyse with trace-query) or
                           chrome (open in chrome://tracing or Perfetto)";
@@ -53,6 +56,7 @@ struct CliArgs {
     config_path: String,
     trace_path: Option<String>,
     trace_format: TraceFormat,
+    audit: bool,
 }
 
 /// Splits flags (any position) from the one positional config path.
@@ -60,9 +64,11 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut config_path = None;
     let mut trace_path = None;
     let mut trace_format = TraceFormat::Jsonl;
+    let mut audit = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--audit" => audit = true,
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a file path")?;
                 trace_path = Some(path.clone());
@@ -90,6 +96,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         config_path,
         trace_path,
         trace_format,
+        audit,
     })
 }
 
@@ -151,13 +158,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let config: ExperimentConfig = match text.parse() {
+            let mut config: ExperimentConfig = match text.parse() {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            config.audit |= cli.audit;
             eprintln!(
                 "running: {:?} allocation, {:?} batching, {:?} trace ({} s, peak {} QPS)",
                 config.allocation,
@@ -169,6 +177,16 @@ fn main() -> ExitCode {
             match run(&config, &cli) {
                 Ok(output) => {
                     print!("{}", output.report);
+                    if config.audit {
+                        let o = &output.outcome;
+                        eprintln!(
+                            "audit: {} plan audit(s), {} violation(s)",
+                            o.plan_audits, o.audit_violations
+                        );
+                        if o.audit_violations > 0 {
+                            return ExitCode::FAILURE;
+                        }
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -212,6 +230,15 @@ mod tests {
         .unwrap();
         assert_eq!(c.config_path, "exp.conf");
         assert!(c.trace_format == TraceFormat::Chrome);
+    }
+
+    #[test]
+    fn parses_audit_flag() {
+        let c = parse_args(&argv(&["exp.conf"])).unwrap();
+        assert!(!c.audit);
+        let c = parse_args(&argv(&["--audit", "exp.conf"])).unwrap();
+        assert!(c.audit);
+        assert_eq!(c.config_path, "exp.conf");
     }
 
     #[test]

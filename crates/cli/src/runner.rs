@@ -91,6 +91,7 @@ pub fn run_experiment_traced(
     system_config.realloc_period_secs = config.realloc_period_secs;
     system_config.demand_headroom = config.beta;
     system_config.seed = config.seed;
+    system_config.audit = config.audit;
 
     let mut system = ServingSystem::new(
         system_config,
@@ -167,6 +168,21 @@ fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                 "re-allocations".into(),
                 outcome.reallocations.to_string(),
             ]);
+            if outcome.plan_audits > 0 {
+                t.row(vec![
+                    "plan audits".into(),
+                    format!(
+                        "{} ({} violation{})",
+                        outcome.plan_audits,
+                        outcome.audit_violations,
+                        if outcome.audit_violations == 1 {
+                            ""
+                        } else {
+                            "s"
+                        }
+                    ),
+                ]);
+            }
             if let Some(line) = replan_log_line(outcome) {
                 t.row(vec!["replans by cause".into(), line]);
             }

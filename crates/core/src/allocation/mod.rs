@@ -8,9 +8,10 @@
 //! [`milp`] builds the optimization of Eqs. 1–7 and decodes its solution
 //! into a plan.
 
+pub mod audit;
 pub mod milp;
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use proteus_profiler::{Cluster, DeviceId, ModelFamily, ModelZoo, ProfileStore, VariantId};
 
@@ -186,12 +187,12 @@ impl AllocationPlan {
             }
         }
         for family in ModelFamily::ALL {
-            let mut seen = HashMap::new();
+            let mut seen = BTreeSet::new();
             for &(device, weight) in self.routing(family) {
                 if weight < 0.0 || !weight.is_finite() {
                     return Some(format!("negative routing weight for {family}"));
                 }
-                if seen.insert(device, ()).is_some() {
+                if !seen.insert(device) {
                     return Some(format!("duplicate routing entry for {family} on {device}"));
                 }
                 match self.assignment(device) {

@@ -59,6 +59,9 @@
 //! assert!(summary.total_served > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod allocation;
 pub mod batching;
 pub mod demand;

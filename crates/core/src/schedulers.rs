@@ -318,28 +318,22 @@ impl Allocator for SommelierAllocator {
             let variants: Vec<VariantId> = ctx.zoo.variants_of(family).map(|v| v.id()).collect();
             // Per-device: index into `variants`, starting at the most
             // accurate feasible one.
+            let peak = |v: VariantId, d: DeviceId| {
+                ctx.cluster
+                    .device(d)
+                    .map_or(0.0, |s| ctx.store.peak_qps(v, s.device_type))
+            };
             let mut chosen: Vec<(DeviceId, usize)> = Vec::new();
             for &d in &devices {
-                let dt = ctx
-                    .cluster
-                    .device(d)
-                    .expect("pinned device exists")
-                    .device_type;
                 let best = (0..variants.len())
                     .rev()
-                    .find(|&i| ctx.store.peak_qps(variants[i], dt) > 0.0);
+                    .find(|&i| peak(variants[i], d) > 0.0);
                 if let Some(i) = best {
                     chosen.push((d, i));
                 }
             }
             let cap = |chosen: &[(DeviceId, usize)]| -> f64 {
-                chosen
-                    .iter()
-                    .map(|&(d, i)| {
-                        let dt = ctx.cluster.device(d).unwrap().device_type;
-                        ctx.store.peak_qps(variants[i], dt)
-                    })
-                    .sum()
+                chosen.iter().map(|&(d, i)| peak(variants[i], d)).sum()
             };
             while cap(&chosen) < demand[family] {
                 // Best single-step downgrade by capacity gain.
@@ -348,9 +342,7 @@ impl Allocator for SommelierAllocator {
                     .enumerate()
                     .filter(|(_, &(_, i))| i > 0)
                     .map(|(idx, &(d, i))| {
-                        let dt = ctx.cluster.device(d).unwrap().device_type;
-                        let gain = ctx.store.peak_qps(variants[i - 1], dt)
-                            - ctx.store.peak_qps(variants[i], dt);
+                        let gain = peak(variants[i - 1], d) - peak(variants[i], d);
                         (idx, gain)
                     })
                     .max_by(|a, b| a.1.total_cmp(&b.1));
@@ -411,8 +403,11 @@ impl Allocator for InfaasAccuracyAllocator {
         let mut assignment: Vec<Option<VariantId>> = (0..ctx.cluster.len())
             .map(|i| current.and_then(|c| c.assignment(DeviceId(i as u32))))
             .collect();
-        let device_type = |d: usize| ctx.cluster.device(DeviceId(d as u32)).unwrap().device_type;
-        let peak_of = |v: VariantId, d: usize| ctx.store.peak_qps(v, device_type(d));
+        let peak_of = |v: VariantId, d: usize| {
+            ctx.cluster
+                .device(DeviceId(d as u32))
+                .map_or(0.0, |s| ctx.store.peak_qps(v, s.device_type))
+        };
         let capacity = |assignment: &[Option<VariantId>], family: ModelFamily| -> f64 {
             assignment
                 .iter()

@@ -76,6 +76,11 @@ pub struct SystemConfig {
     pub startup_noise_secs: f64,
     /// RNG seed for all execution noise.
     pub seed: u64,
+    /// Run the independent plan auditor after every solver-backed replan
+    /// and check DES invariants at end of run, even in release builds
+    /// (debug builds always audit). Violations are counted in
+    /// [`RunOutcome::audit_violations`] and reported to the trace stream.
+    pub audit: bool,
     /// Demand used for the initial (t = 0) allocation; defaults to the
     /// trace's mean per-family rate.
     pub provision_demand: Option<FamilyMap<f64>>,
@@ -135,6 +140,7 @@ impl SystemConfig {
             latency_noise_cv: 0.0,
             startup_noise_secs: 0.0,
             seed: 0,
+            audit: false,
             provision_demand: None,
             drain_secs: 5.0,
             elastic: None,
@@ -185,6 +191,12 @@ pub struct RunOutcome {
     pub replan_log: Vec<ReplanRecord>,
     /// The plan in force when the run ended.
     pub final_plan: AllocationPlan,
+    /// Times the independent plan auditor ran (0 when auditing was off:
+    /// release build without [`SystemConfig::audit`]).
+    pub plan_audits: u32,
+    /// Total constraint violations across plan audits and end-of-run DES
+    /// invariant checks. Always 0 for a correct solver and simulator.
+    pub audit_violations: u32,
 }
 
 /// One Resource Manager invocation: what triggered it and what it cost.
@@ -367,6 +379,8 @@ impl ServingSystem {
             trace_on,
             next_batch: 0,
             replan_log: Vec::new(),
+            plan_audits: 0,
+            audit_violations: 0,
         };
 
         let mut sim: Simulation<Event> = Simulation::new();
@@ -402,6 +416,33 @@ impl ServingSystem {
         // Account anything still queued (nothing should be, since every
         // policy eventually executes or drops, but stay safe).
         engine.drain_leftovers();
+
+        // End-of-run DES invariants (checked whenever auditing is on):
+        // 1. event-time monotonicity — the kernel counts any regression;
+        // 2. query conservation — every arrival reached exactly one
+        //    terminal outcome (served or dropped; nothing in flight after
+        //    the drain).
+        if cfg!(debug_assertions) || self.config.audit {
+            if sim.time_regressions() > 0 {
+                engine.audit_violations += sim.time_regressions() as u32;
+            }
+            let summary = engine.metrics.summary();
+            let accounted = summary.total_served + summary.total_dropped;
+            if summary.total_arrived != arrivals.len() as u64 || accounted != summary.total_arrived
+            {
+                engine.audit_violations += 1;
+                debug_assert!(
+                    false,
+                    "query conservation violated: {} arrivals, {} recorded, \
+                     {} served + {} dropped",
+                    arrivals.len(),
+                    summary.total_arrived,
+                    summary.total_served,
+                    summary.total_dropped
+                );
+            }
+        }
+
         engine.trace.flush();
         RunOutcome {
             metrics: engine.metrics,
@@ -414,6 +455,8 @@ impl ServingSystem {
             device_stats: engine.device_stats,
             replan_log: engine.replan_log,
             final_plan: engine.plan,
+            plan_audits: engine.plan_audits,
+            audit_violations: engine.audit_violations,
         }
     }
 }
@@ -465,6 +508,10 @@ struct Engine<'a> {
     /// Run-unique batch id counter.
     next_batch: u64,
     replan_log: Vec<ReplanRecord>,
+    /// Times the independent plan auditor ran.
+    plan_audits: u32,
+    /// Violations found by plan audits (accumulated into the outcome).
+    audit_violations: u32,
 }
 
 impl Engine<'_> {
@@ -511,6 +558,8 @@ impl Engine<'_> {
         };
         let demand = provision.scaled(self.config.demand_headroom);
         self.planned_for = *provision;
+        // lint:allow(wall-clock) — measures real solver wall time for
+        // SolveStats reporting; the result never feeds sim logic.
         let start = std::time::Instant::now();
         let plan = self.allocator.allocate(&ctx, &demand, None, SimTime::ZERO);
         let wall_secs = start.elapsed().as_secs_f64();
@@ -548,6 +597,41 @@ impl Engine<'_> {
         if self.trace_on {
             self.emit(SimTime::ZERO, EventKind::PlanApplied { changed, shrink });
         }
+        self.audit_applied_plan(SimTime::ZERO, &demand);
+    }
+
+    /// Runs the independent plan auditor against the plan just applied.
+    ///
+    /// Only solver-backed allocators are audited: the auditor re-derives
+    /// the MILP's constraint system (Eqs. 1–7), whose capacity and
+    /// coverage conventions the heuristic baselines do not follow.
+    /// `demand` is the demand handed to the allocator (pre-floor).
+    fn audit_applied_plan(&mut self, now: SimTime, demand: &FamilyMap<f64>) {
+        if !(cfg!(debug_assertions) || self.config.audit) {
+            return;
+        }
+        if self.allocator.last_solve_stats().is_none() {
+            return;
+        }
+        let ctx = AllocContext {
+            cluster: &self.cluster,
+            zoo: &self.config.zoo,
+            store: self.store,
+        };
+        let report = crate::allocation::audit::audit_plan(&ctx, demand, &self.plan);
+        self.plan_audits += 1;
+        self.audit_violations += report.violations.len() as u32;
+        if self.trace_on {
+            self.emit(
+                now,
+                EventKind::AuditReport {
+                    violations: report.violations.len() as u32,
+                    devices_checked: report.devices_checked as u32,
+                    families_checked: report.families_checked as u32,
+                },
+            );
+        }
+        debug_assert!(report.is_clean(), "plan audit failed at {now}: {report}");
     }
 
     fn emit_solve_stats(&mut self, at: SimTime, stats: &SolveStats) {
@@ -619,6 +703,8 @@ impl Engine<'_> {
             let device_type = worker.spec().device_type;
             let profile = store
                 .profile(variant, device_type)
+                // lint:allow(no-panic) — ProfileStore::build profiles every
+                // (variant, device type) pair; a miss is a construction bug.
                 .expect("every (variant, device type) pair is profiled");
             match self.workers[device].decide(now, profile) {
                 BatchDecision::Idle => {
@@ -824,6 +910,8 @@ impl Engine<'_> {
             zoo: &self.config.zoo,
             store: self.store,
         };
+        // lint:allow(wall-clock) — measures real solver wall time for
+        // SolveStats reporting; the result never feeds sim logic.
         let start = std::time::Instant::now();
         let plan = self
             .allocator
@@ -881,6 +969,7 @@ impl Engine<'_> {
         if self.trace_on {
             self.emit(now, EventKind::PlanApplied { changed, shrink });
         }
+        self.audit_applied_plan(now, &demand);
     }
 }
 
@@ -1045,6 +1134,8 @@ impl Actor for Engine<'_> {
             }
             Event::ProvisionReady(device_type) => {
                 let id = self.cluster.add(device_type);
+                // lint:allow(no-panic) — Cluster::add returned this id on
+                // the previous line; it cannot be out of range.
                 let spec = *self.cluster.device(id).expect("just added");
                 self.workers.push(Worker::new(
                     spec,

@@ -32,6 +32,8 @@
 //! assert_eq!(summary.slo_violation_ratio, 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod collector;
 mod latency;
 pub mod report;

@@ -27,6 +27,8 @@
 //! assert!(profile.latency(1) < profile.latency(8));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod device;
 mod family;
 mod latency;
@@ -37,6 +39,6 @@ mod zoo;
 pub use device::{Cluster, DeviceId, DeviceSpec, DeviceType};
 pub use family::ModelFamily;
 pub use latency::LatencyModel;
-pub use store::{Profile, ProfileStore, SloPolicy, MAX_BATCH};
+pub use store::{Profile, ProfileError, ProfileStore, SloPolicy, MAX_BATCH};
 pub use variant::{VariantId, VariantSpec};
 pub use zoo::ModelZoo;

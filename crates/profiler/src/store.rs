@@ -7,6 +7,42 @@ use crate::{DeviceType, LatencyModel, ModelFamily, ModelZoo, VariantId, VariantS
 /// Hard cap on batch size, matching common serving-system limits.
 pub const MAX_BATCH: u32 = 32;
 
+/// Typed failure of profile-store construction or lookup.
+///
+/// Hand-rolled `thiserror`-style enum: the store is built from static
+/// model-zoo tables, so these only fire on malformed custom zoos — but
+/// library code must surface them as values, not panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A family has no variant whose batch-1 memory fits a CPU, so no SLO
+    /// can be derived for it (the policy anchors SLOs to CPU latency).
+    NoCpuFeasibleVariant {
+        /// The family missing a CPU-feasible variant.
+        family: ModelFamily,
+    },
+    /// A family was requested that the profiled zoo does not contain.
+    UnknownFamily {
+        /// The unprofiled family.
+        family: ModelFamily,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::NoCpuFeasibleVariant { family } => write!(
+                f,
+                "family {family} has no CPU-feasible variant to anchor its SLO"
+            ),
+            ProfileError::UnknownFamily { family } => {
+                write!(f, "family {family} is not present in the profiled zoo")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// How latency SLOs are assigned to families (§6.1.2, §6.6).
 ///
 /// The paper sets each family's SLO to a multiple of the batch-1 CPU latency
@@ -149,16 +185,45 @@ pub struct ProfileStore {
 impl ProfileStore {
     /// Profiles every variant of `zoo` on every device type with the default
     /// latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zoo is malformed (see [`ProfileStore::try_build`],
+    /// which reports the same condition as a [`ProfileError`]).
     pub fn build(zoo: &ModelZoo, policy: SloPolicy) -> Self {
         Self::build_with_model(zoo, policy, LatencyModel::default())
     }
 
     /// Profiles with an explicit latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zoo is malformed (see
+    /// [`ProfileStore::try_build_with_model`]).
     pub fn build_with_model(
         zoo: &ModelZoo,
         policy: SloPolicy,
         latency_model: LatencyModel,
     ) -> Self {
+        match Self::try_build_with_model(zoo, policy, latency_model) {
+            Ok(store) => store,
+            Err(e) => panic!("cannot build profile store: {e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`ProfileStore::build`].
+    pub fn try_build(zoo: &ModelZoo, policy: SloPolicy) -> Result<Self, ProfileError> {
+        Self::try_build_with_model(zoo, policy, LatencyModel::default())
+    }
+
+    /// Fallible counterpart of [`ProfileStore::build_with_model`]: returns
+    /// [`ProfileError::NoCpuFeasibleVariant`] instead of panicking when a
+    /// family's SLO cannot be anchored.
+    pub fn try_build_with_model(
+        zoo: &ModelZoo,
+        policy: SloPolicy,
+        latency_model: LatencyModel,
+    ) -> Result<Self, ProfileError> {
         let mut slos_ms = HashMap::new();
         for family in zoo.families() {
             // SLO = multiplier × batch-1 CPU latency of the family's fastest
@@ -168,13 +233,16 @@ impl ProfileStore {
                 .filter(|v| v.memory_at_batch(1) <= DeviceType::Cpu.memory_mib())
                 .map(|v| latency_model.latency_ms(v, DeviceType::Cpu, 1))
                 .min_by(f64::total_cmp)
-                .expect("every family needs at least one CPU-feasible variant");
+                .ok_or(ProfileError::NoCpuFeasibleVariant { family })?;
             slos_ms.insert(family, policy.multiplier * fastest_cpu_ms);
         }
 
         let mut profiles = HashMap::new();
         for variant in zoo.iter() {
-            let slo_ms = slos_ms[&variant.family()];
+            let family = variant.family();
+            let slo_ms = *slos_ms
+                .get(&family)
+                .ok_or(ProfileError::UnknownFamily { family })?;
             for device in DeviceType::ALL {
                 profiles.insert(
                     (variant.id(), device),
@@ -182,12 +250,12 @@ impl ProfileStore {
                 );
             }
         }
-        Self {
+        Ok(Self {
             profiles,
             slos_ms,
             latency_model,
             policy,
-        }
+        })
     }
 
     fn profile_pair(
@@ -242,9 +310,21 @@ impl ProfileStore {
     ///
     /// # Panics
     ///
-    /// Panics if the family was not present in the profiled zoo.
+    /// Panics if the family was not present in the profiled zoo (see
+    /// [`ProfileStore::try_slo_ms`]).
     pub fn slo_ms(&self, family: ModelFamily) -> f64 {
-        self.slos_ms[&family]
+        match self.try_slo_ms(family) {
+            Ok(slo) => slo,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`ProfileStore::slo_ms`].
+    pub fn try_slo_ms(&self, family: ModelFamily) -> Result<f64, ProfileError> {
+        self.slos_ms
+            .get(&family)
+            .copied()
+            .ok_or(ProfileError::UnknownFamily { family })
     }
 
     /// The SLO policy the store was built with.
@@ -422,5 +502,74 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_multiplier_rejected() {
         SloPolicy::with_multiplier(0.0);
+    }
+
+    #[test]
+    fn try_build_reports_cpu_infeasible_family_as_typed_error() {
+        // One family whose only variant needs more memory than a CPU has:
+        // no SLO anchor exists, so construction must fail with the typed
+        // error instead of panicking.
+        let mut zoo = ModelZoo::new();
+        zoo.register(VariantSpec::new(
+            VariantId {
+                family: ModelFamily::Gpt2,
+                index: 0,
+            },
+            "gpt2-test-oversized",
+            0.9,
+            50.0,
+            DeviceType::Cpu.memory_mib() + 1.0,
+            0.0,
+        ));
+        let err = ProfileStore::try_build(&zoo, SloPolicy::default()).unwrap_err();
+        assert_eq!(
+            err,
+            ProfileError::NoCpuFeasibleVariant {
+                family: ModelFamily::Gpt2
+            }
+        );
+        assert!(err.to_string().contains("GPT-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no CPU-feasible variant")]
+    fn build_panics_with_typed_error_message() {
+        let mut zoo = ModelZoo::new();
+        zoo.register(VariantSpec::new(
+            VariantId {
+                family: ModelFamily::Bert,
+                index: 0,
+            },
+            "bert-test-oversized",
+            0.9,
+            50.0,
+            DeviceType::Cpu.memory_mib() + 1.0,
+            0.0,
+        ));
+        ProfileStore::build(&zoo, SloPolicy::default());
+    }
+
+    #[test]
+    fn try_slo_ms_reports_unknown_family() {
+        let mut zoo = ModelZoo::new();
+        zoo.register(VariantSpec::new(
+            VariantId {
+                family: ModelFamily::ResNet,
+                index: 0,
+            },
+            "resnet-test",
+            0.8,
+            20.0,
+            100.0,
+            1.0,
+        ));
+        let store = ProfileStore::try_build(&zoo, SloPolicy::default()).unwrap();
+        assert!(store.try_slo_ms(ModelFamily::ResNet).is_ok());
+        assert_eq!(
+            store.try_slo_ms(ModelFamily::T5),
+            Err(ProfileError::UnknownFamily {
+                family: ModelFamily::T5
+            })
+        );
     }
 }

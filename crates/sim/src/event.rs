@@ -1,7 +1,7 @@
 //! A cancellable, FIFO-stable priority queue of timed events.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::SimTime;
 
@@ -58,9 +58,9 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Keys still in the heap that have not been cancelled.
-    live: HashSet<u64>,
+    live: BTreeSet<u64>,
     /// Keys still in the heap that were cancelled (skipped lazily on pop).
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
 }
 
@@ -75,8 +75,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
         }
     }

@@ -42,6 +42,8 @@
 //! assert_eq!(counter.fired, 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod event;
 mod time;
 
@@ -70,6 +72,10 @@ pub struct Simulation<E> {
     queue: EventQueue<E>,
     now: SimTime,
     delivered: u64,
+    /// Events delivered with a timestamp earlier than the clock — always 0
+    /// unless the event queue is broken. Counted (not just asserted) so
+    /// release-mode audits can verify the invariant at end of run.
+    time_regressions: u64,
 }
 
 impl<E> Default for Simulation<E> {
@@ -85,7 +91,15 @@ impl<E> Simulation<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             delivered: 0,
+            time_regressions: 0,
         }
+    }
+
+    /// Number of events delivered out of time order (event-time
+    /// monotonicity violations). Always 0 for a correct event queue; the
+    /// serving system's end-of-run audit asserts this.
+    pub fn time_regressions(&self) -> u64 {
+        self.time_regressions
     }
 
     /// Returns the current simulated time.
@@ -154,12 +168,18 @@ impl<E> Simulation<E> {
         A: Actor<Event = E> + ?Sized,
     {
         let before = self.delivered;
-        while let Some(at) = self.queue.peek_time() {
-            if at > horizon {
-                break;
+        loop {
+            match self.queue.peek_time() {
+                Some(at) if at <= horizon => {}
+                _ => break,
             }
-            let (at, event) = self.queue.pop().expect("peeked event must exist");
-            debug_assert!(at >= self.now, "event queue must be monotone");
+            let Some((at, event)) = self.queue.pop() else {
+                break;
+            };
+            if at < self.now {
+                self.time_regressions += 1;
+                debug_assert!(false, "event queue must be monotone: {at} < {}", self.now);
+            }
             self.now = at;
             self.delivered += 1;
             actor.handle(at, event, self);
@@ -176,6 +196,10 @@ impl<E> Simulation<E> {
         A: Actor<Event = E> + ?Sized,
     {
         let (at, event) = self.queue.pop()?;
+        if at < self.now {
+            self.time_regressions += 1;
+            debug_assert!(false, "event queue must be monotone: {at} < {}", self.now);
+        }
         self.now = at;
         self.delivered += 1;
         actor.handle(at, event, self);

@@ -1,0 +1,327 @@
+//! Independent re-verification of a claimed MILP solution.
+//!
+//! [`audit_solution`] walks the *raw problem data* — bounds, integrality
+//! flags and constraint rows, read through the public [`LinearProgram`]
+//! accessors — and re-checks the candidate assignment from scratch. It
+//! shares no code with the simplex tableau or the branch & bound search,
+//! so a bug in either cannot hide itself: the auditor recomputes every
+//! left-hand side with a plain dot product and compares against the
+//! declared relation at [`eps::SOLUTION`] precision (scaled by row
+//! magnitude, the same convention the solver promises in
+//! [`LinearProgram::is_feasible`]).
+//!
+//! Unlike `is_feasible`, which answers yes/no, the auditor reports *every*
+//! violation it finds with enough context to debug it: which variable or
+//! row, the observed value, and the magnitude of the excess.
+
+use std::fmt;
+
+use crate::eps;
+use crate::problem::{LinearProgram, Relation, Solution, VarId};
+
+/// One discrepancy between a claimed solution and the problem it claims
+/// to solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpViolation {
+    /// A variable sits outside its `[lower, upper]` bounds.
+    BoundViolated {
+        /// The offending variable.
+        var: VarId,
+        /// Its value in the candidate solution.
+        value: f64,
+        /// Declared bounds.
+        lower: f64,
+        /// Declared bounds.
+        upper: f64,
+    },
+    /// An integer-constrained variable holds a fractional value.
+    NotIntegral {
+        /// The offending variable.
+        var: VarId,
+        /// Its (fractional) value.
+        value: f64,
+    },
+    /// A constraint row's recomputed left-hand side breaks its relation.
+    ConstraintViolated {
+        /// Row index into [`LinearProgram::constraint`].
+        row: usize,
+        /// Recomputed `Σ coeff·x`.
+        lhs: f64,
+        /// Declared relation.
+        relation: Relation,
+        /// Declared right-hand side.
+        rhs: f64,
+    },
+    /// The solution's stored objective does not match the objective
+    /// recomputed from its variable values.
+    ObjectiveMismatch {
+        /// Objective carried by the [`Solution`].
+        reported: f64,
+        /// Objective recomputed from values and coefficients.
+        recomputed: f64,
+    },
+}
+
+impl fmt::Display for LpViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpViolation::BoundViolated {
+                var,
+                value,
+                lower,
+                upper,
+            } => write!(f, "{var} = {value} outside bounds [{lower}, {upper}]"),
+            LpViolation::NotIntegral { var, value } => {
+                write!(f, "{var} = {value} is not integral")
+            }
+            LpViolation::ConstraintViolated {
+                row,
+                lhs,
+                relation,
+                rhs,
+            } => {
+                let op = match relation {
+                    Relation::Le => "<=",
+                    Relation::Eq => "==",
+                    Relation::Ge => ">=",
+                };
+                write!(f, "row {row}: lhs {lhs} !{op} rhs {rhs}")
+            }
+            LpViolation::ObjectiveMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "objective mismatch: reported {reported}, recomputed {recomputed}"
+            ),
+        }
+    }
+}
+
+/// Outcome of [`audit_solution`]: all violations found, plus counts of
+/// what was checked so "no violations" is distinguishable from "nothing
+/// to check".
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpAuditReport {
+    /// Every discrepancy found, in variable-then-row order.
+    pub violations: Vec<LpViolation>,
+    /// Number of variables whose bounds/integrality were verified.
+    pub variables_checked: usize,
+    /// Number of constraint rows recomputed.
+    pub constraints_checked: usize,
+}
+
+impl LpAuditReport {
+    /// `true` when the candidate passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for LpAuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "clean ({} variables, {} rows verified)",
+                self.variables_checked, self.constraints_checked
+            )
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Re-verifies `solution` against `lp` from first principles.
+///
+/// Checks, in order:
+/// 1. every variable within its declared bounds (tolerance scaled by
+///    bound magnitude),
+/// 2. every integer variable integral within [`eps::INTEGRALITY`],
+/// 3. every constraint row satisfied within [`eps::SOLUTION`] scaled by
+///    the row's magnitude (`1 + |rhs| + Σ|coeffᵢ·xᵢ|`),
+/// 4. the stored objective equal to the recomputed one.
+///
+/// # Panics
+///
+/// Panics if `solution` carries a different number of values than `lp`
+/// has variables — that is not a numeric violation but a caller bug.
+pub fn audit_solution(lp: &LinearProgram, solution: &Solution) -> LpAuditReport {
+    let values = solution.values();
+    assert_eq!(
+        values.len(),
+        lp.num_variables(),
+        "solution has {} values for a {}-variable program",
+        values.len(),
+        lp.num_variables()
+    );
+
+    let mut violations = Vec::new();
+
+    for (i, &x) in values.iter().enumerate() {
+        let var = var_at(lp, i);
+        let (lower, upper) = lp.bounds(var);
+        let scale = 1.0
+            + lower
+                .abs()
+                .max(if upper.is_finite() { upper.abs() } else { 0.0 });
+        let btol = eps::SOLUTION * scale;
+        if x < lower - btol || x > upper + btol || !x.is_finite() {
+            violations.push(LpViolation::BoundViolated {
+                var,
+                value: x,
+                lower,
+                upper,
+            });
+        }
+        if lp.is_integer(var) && !eps::is_integral(x, eps::INTEGRALITY) {
+            violations.push(LpViolation::NotIntegral { var, value: x });
+        }
+    }
+
+    for row in 0..lp.num_constraints() {
+        let (terms, relation, rhs) = lp.constraint(row);
+        let mut lhs = 0.0;
+        let mut scale = 1.0 + rhs.abs();
+        for &(v, coeff) in terms {
+            let term = coeff * values[v.index()];
+            lhs += term;
+            scale += term.abs();
+        }
+        let tol = eps::SOLUTION * scale;
+        let ok = match relation {
+            Relation::Le => lhs <= rhs + tol,
+            Relation::Eq => eps::within(lhs, rhs, tol),
+            Relation::Ge => lhs >= rhs - tol,
+        };
+        if !ok {
+            violations.push(LpViolation::ConstraintViolated {
+                row,
+                lhs,
+                relation,
+                rhs,
+            });
+        }
+    }
+
+    let recomputed = lp.objective_value(values);
+    if !eps::within_scaled(recomputed, solution.objective(), eps::SOLUTION) {
+        violations.push(LpViolation::ObjectiveMismatch {
+            reported: solution.objective(),
+            recomputed,
+        });
+    }
+
+    LpAuditReport {
+        violations,
+        variables_checked: lp.num_variables(),
+        constraints_checked: lp.num_constraints(),
+    }
+}
+
+/// Recovers the [`VarId`] for dense index `i` without exposing the
+/// constructor: bounds lookups only need an id whose `index()` matches.
+fn var_at(lp: &LinearProgram, i: usize) -> VarId {
+    // VarIds are handed out densely from 0, so reconstruct by position.
+    debug_assert!(i < lp.num_variables());
+    VarId(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::MilpSolver;
+    use crate::problem::Solution;
+
+    fn sample_lp() -> (LinearProgram, Vec<VarId>) {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
+        let y = lp.add_integer("y", 0.0, 5.0, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, 8.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        (lp, vec![x, y])
+    }
+
+    fn fake_solution(lp: &LinearProgram, values: Vec<f64>) -> Solution {
+        let objective = lp.objective_value(&values);
+        Solution { values, objective }
+    }
+
+    #[test]
+    fn accepts_genuine_solver_output() {
+        let (lp, _) = sample_lp();
+        let sol = MilpSolver::default().solve(&lp).unwrap();
+        let report = audit_solution(&lp, &sol);
+        assert!(report.is_clean(), "unexpected violations: {report}");
+        assert_eq!(report.variables_checked, 2);
+        assert_eq!(report.constraints_checked, 2);
+    }
+
+    #[test]
+    fn catches_bound_violation() {
+        let (lp, _) = sample_lp();
+        let sol = fake_solution(&lp, vec![-1.0, 2.0]);
+        let report = audit_solution(&lp, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LpViolation::BoundViolated { .. })));
+    }
+
+    #[test]
+    fn catches_fractional_integer() {
+        let (lp, _) = sample_lp();
+        let sol = fake_solution(&lp, vec![1.0, 2.5]);
+        let report = audit_solution(&lp, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LpViolation::NotIntegral { .. })));
+    }
+
+    #[test]
+    fn catches_constraint_violation() {
+        let (lp, _) = sample_lp();
+        let sol = fake_solution(&lp, vec![5.0, 5.0]);
+        let report = audit_solution(&lp, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LpViolation::ConstraintViolated { row: 0, .. })));
+    }
+
+    #[test]
+    fn catches_objective_lie() {
+        let (lp, _) = sample_lp();
+        let mut sol = fake_solution(&lp, vec![2.0, 3.0]);
+        sol.objective += 1.0;
+        let report = audit_solution(&lp, &sol);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, LpViolation::ObjectiveMismatch { .. })));
+    }
+
+    #[test]
+    fn tolerates_simplex_round_off() {
+        let (lp, _) = sample_lp();
+        // Nudge a genuine optimum by less than the audit tolerance.
+        let sol = fake_solution(&lp, vec![4.0 + 1e-9, 2.0 - 1e-9]);
+        let report = audit_solution(&lp, &sol);
+        assert!(report.is_clean(), "round-off rejected: {report}");
+    }
+
+    #[test]
+    fn report_formats_violations() {
+        let (lp, _) = sample_lp();
+        let sol = fake_solution(&lp, vec![-1.0, 2.5]);
+        let report = audit_solution(&lp, &sol);
+        let text = report.to_string();
+        assert!(text.contains("outside bounds"), "{text}");
+        assert!(text.contains("not integral"), "{text}");
+    }
+}

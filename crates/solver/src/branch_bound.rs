@@ -9,11 +9,10 @@
 
 use std::time::{Duration, Instant};
 
+use crate::eps;
+use crate::eps::INTEGRALITY as INT_TOL;
 use crate::problem::{LinearProgram, Sense, Solution, SolveError};
 use crate::simplex::{WarmResult, Workspace};
-
-/// Integrality tolerance: values this close to an integer are accepted.
-const INT_TOL: f64 = 1e-6;
 
 /// Statistics of one MILP solve, for the Fig. 10 overhead study and the
 /// controller's per-replan report.
@@ -96,7 +95,7 @@ impl Default for MilpSolver {
     fn default() -> Self {
         Self {
             max_nodes: 200_000,
-            gap_tolerance: 1e-6,
+            gap_tolerance: eps::GAP,
             relative_gap: 0.0,
             warm_start: true,
         }
@@ -228,7 +227,7 @@ impl MilpSolver {
                     *v = v.round();
                 }
             }
-            if lp.is_feasible(&values, 1e-6) {
+            if lp.is_feasible(&values, eps::SOLUTION) {
                 let objective = lp.objective_value(&values);
                 incumbent = Some(Solution { values, objective });
             }
@@ -288,7 +287,7 @@ impl MilpSolver {
                         }
                     }
                     let objective = lp.objective_value(&values);
-                    if lp.is_feasible(&values, 1e-6)
+                    if lp.is_feasible(&values, eps::SOLUTION)
                         && incumbent
                             .as_ref()
                             .is_none_or(|inc| better(objective, inc.objective()))
@@ -339,7 +338,7 @@ impl MilpSolver {
                                     }
                                 }
                                 let objective = lp.objective_value(&values);
-                                if lp.is_feasible(&values, 1e-6) {
+                                if lp.is_feasible(&values, eps::SOLUTION) {
                                     let improves =
                                         incumbent.as_ref().is_none_or(|inc: &Solution| {
                                             better(objective, inc.objective())

@@ -210,7 +210,7 @@ impl LinearProgram {
                 "constraint references unknown variable {var}"
             );
             assert!(coeff.is_finite(), "constraint coefficient must be finite");
-            if coeff == 0.0 {
+            if !crate::eps::nonzero(coeff) {
                 continue;
             }
             match dense.iter_mut().find(|(v, _)| *v == var) {
@@ -233,6 +233,19 @@ impl LinearProgram {
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Read-only view of one constraint row: its sparse terms, relation and
+    /// right-hand side. Exists so external checkers (the plan auditor) can
+    /// re-verify a solution against the raw problem without any access to
+    /// solver internals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_constraints()`.
+    pub fn constraint(&self, index: usize) -> (&[(VarId, f64)], Relation, f64) {
+        let c = &self.constraints[index];
+        (&c.terms, c.relation, c.rhs)
     }
 
     /// Number of integer variables.
@@ -308,7 +321,7 @@ impl LinearProgram {
             if x < v.lower - btol || x > v.upper + btol {
                 return false;
             }
-            if v.integer && (x - x.round()).abs() > tol.max(1e-9) {
+            if v.integer && !crate::eps::is_integral(x, tol.max(crate::eps::PIVOT)) {
                 return false;
             }
         }

@@ -27,16 +27,9 @@
 //! paying a cold two-phase solve. Branch & bound uses this to re-solve each
 //! node from its parent's basis in a handful of pivots.
 
+use crate::eps;
+use crate::eps::{DUAL as DUAL_TOL, FEASIBILITY as FEAS_TOL, PIVOT as EPS};
 use crate::problem::{LinearProgram, Sense, Solution, SolveError};
-
-/// Tolerance for pivoting and reduced-cost decisions.
-const EPS: f64 = 1e-9;
-/// Tolerance for primal bound violations (dual-simplex leaving test) and
-/// phase-1 infeasibility.
-const FEAS_TOL: f64 = 1e-7;
-/// Tolerance for dual infeasibility when deciding whether a warm basis can
-/// be repaired by the dual simplex.
-const DUAL_TOL: f64 = 1e-7;
 /// Warm solves between forced cold refreshes (bounds incremental updates
 /// accumulate round-off; a periodic rebuild keeps the tableau honest).
 const REFRESH_EVERY: u32 = 64;
@@ -265,6 +258,8 @@ impl Workspace {
     ///
     /// Panics if no solve has succeeded.
     pub(crate) fn extract(&self, lp: &LinearProgram) -> Solution {
+        // lint:allow(no-panic) — documented API contract: callers invoke
+        // extract() only after a successful solve populated the tableau.
         let tab = self.tab.as_ref().expect("extract() before a solve");
         let mut values = vec![0.0f64; tab.n];
         for (j, value) in values.iter_mut().enumerate() {
@@ -274,15 +269,17 @@ impl Workspace {
                 ColState::Basic => {
                     let r = (0..tab.m)
                         .find(|&r| tab.basis[r] == j)
+                        // lint:allow(no-panic) — tableau invariant: every
+                        // Basic column has exactly one basis row.
                         .expect("basic column missing from basis");
                     tab.xb[r]
                 }
             };
             // Snap float dust onto the box.
-            if (*value - tab.lower[j]).abs() < 1e-9 {
+            if (*value - tab.lower[j]).abs() < EPS {
                 *value = tab.lower[j];
             }
-            if tab.upper[j].is_finite() && (*value - tab.upper[j]).abs() < 1e-9 {
+            if tab.upper[j].is_finite() && (*value - tab.upper[j]).abs() < EPS {
                 *value = tab.upper[j];
             }
         }
@@ -384,9 +381,9 @@ impl Tab {
             d: vec![0.0; ncols],
             art_start,
         };
-        for j in 0..n {
-            tab.lower[j] = bounds[j].0;
-            tab.upper[j] = bounds[j].1;
+        for (j, &(lo, hi)) in bounds.iter().enumerate().take(n) {
+            tab.lower[j] = lo;
+            tab.upper[j] = hi;
             let c = lp.variables[j].objective;
             tab.cost[j] = if maximize { c } else { -c };
         }
@@ -407,8 +404,8 @@ impl Tab {
         // Install the crash basis. Its matrix is diagonal (each basic column
         // has one nonzero, in its own row), so B⁻¹A is a row-wise division.
         let mut art_k = 0;
-        for r in 0..m {
-            let b = if slack_basic[r] {
+        for (r, &slack) in slack_basic.iter().enumerate().take(m) {
+            let b = if slack {
                 n + r
             } else {
                 let b = art_start + art_k;
@@ -448,7 +445,7 @@ impl Tab {
             .chain(tail.chunks_exact_mut(ncols))
         {
             let f = chunk[pcol];
-            if f != 0.0 {
+            if eps::nonzero(f) {
                 for (x, p) in chunk.iter_mut().zip(prow_slice.iter()) {
                     *x -= f * *p;
                 }
@@ -463,7 +460,7 @@ impl Tab {
         self.d.copy_from_slice(cost);
         for r in 0..self.m {
             let cb = cost[self.basis[r]];
-            if cb != 0.0 {
+            if eps::nonzero(cb) {
                 let row = r * self.ncols;
                 for j in 0..self.ncols {
                     self.d[j] -= cb * self.a[row + j];
@@ -543,20 +540,20 @@ impl Tab {
                 } else {
                     continue;
                 };
-                let tie = (lim - t_rows).abs() <= EPS * (1.0 + t_rows.abs());
-                let replace = if leave.is_none() {
-                    true
-                } else if tie {
+                let tie = eps::within_scaled(lim, t_rows, EPS);
+                let replace = match leave {
+                    None => true,
                     // Ties: Bland's rule picks the smallest basic index for
                     // termination; otherwise prefer the larger pivot element
                     // for numerical stability.
-                    if bland {
-                        b < self.basis[leave.unwrap().0]
-                    } else {
-                        alpha.abs() > self.a[leave.unwrap().0 * self.ncols + e].abs()
+                    Some((l, _)) if tie => {
+                        if bland {
+                            b < self.basis[l]
+                        } else {
+                            alpha.abs() > self.a[l * self.ncols + e].abs()
+                        }
                     }
-                } else {
-                    lim < t_rows
+                    Some(_) => lim < t_rows,
                 };
                 if replace {
                     t_rows = lim.max(0.0);
@@ -579,7 +576,11 @@ impl Tab {
                 };
                 continue;
             }
-            let (lr, to_upper) = leave.expect("finite row ratio without a row");
+            // A finite `t_rows` is only ever set together with `leave`; if
+            // neither ratio was finite the unbounded branch above returned.
+            let Some((lr, to_upper)) = leave else {
+                return PrimalOutcome::Unbounded;
+            };
             let t = t_rows;
             let enter_rest = if sigma > 0.0 {
                 self.lower[e]
@@ -602,7 +603,7 @@ impl Tab {
             };
             // Incremental reduced-cost update from the normalized pivot row.
             let de = self.d[e];
-            if de != 0.0 {
+            if eps::nonzero(de) {
                 let row = lr * self.ncols;
                 for j in 0..self.ncols {
                     self.d[j] -= de * self.a[row + j];
@@ -698,7 +699,7 @@ impl Tab {
                     continue;
                 }
                 let ratio = self.d[j].abs() / ar.abs();
-                let tie = (ratio - best_ratio).abs() <= EPS * (1.0 + best_ratio.abs());
+                let tie = eps::within_scaled(ratio, best_ratio, EPS);
                 if entering.is_none()
                     || (tie && alpha.abs() > best_alpha.abs())
                     || (!tie && ratio < best_ratio)
@@ -737,7 +738,7 @@ impl Tab {
                 ColState::AtUpper
             };
             let de = self.d[e];
-            if de != 0.0 {
+            if eps::nonzero(de) {
                 let prow = lr * self.ncols;
                 for j in 0..self.ncols {
                     self.d[j] -= de * self.a[prow + j];
@@ -750,8 +751,7 @@ impl Tab {
     /// Installs new structural bounds, re-resting nonbasic columns and
     /// propagating each resting-value change through the basic values.
     fn apply_bounds(&mut self, bounds: &[(f64, f64)]) {
-        for j in 0..self.n {
-            let (nl, nu) = bounds[j];
+        for (j, &(nl, nu)) in bounds.iter().enumerate().take(self.n) {
             let (ol, ou) = (self.lower[j], self.upper[j]);
             self.lower[j] = nl;
             self.upper[j] = nu;
@@ -770,10 +770,10 @@ impl Tab {
                     }
                 }
             };
-            if shift != 0.0 {
+            if eps::nonzero(shift) {
                 for r in 0..self.m {
                     let alpha = self.a[r * self.ncols + j];
-                    if alpha != 0.0 {
+                    if eps::nonzero(alpha) {
                         self.xb[r] -= alpha * shift;
                     }
                 }
@@ -796,7 +796,7 @@ impl Tab {
                 continue;
             }
             let row = r * self.ncols;
-            let col = (0..self.art_start).find(|&j| self.a[row + j].abs() > 1e-7);
+            let col = (0..self.art_start).find(|&j| self.a[row + j].abs() > eps::ARTIFICIAL);
             if let Some(j) = col {
                 // Degenerate pivot: the artificial sits at zero, so the
                 // entering column becomes basic at the resting value it

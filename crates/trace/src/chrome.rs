@@ -148,7 +148,7 @@ pub fn export_chrome(events: &[TraceEvent]) -> String {
 
 /// Nanoseconds → the format's microseconds, as a decimal literal.
 fn micros(nanos: u64) -> String {
-    if nanos % 1_000 == 0 {
+    if nanos.is_multiple_of(1_000) {
         format!("{}", nanos / 1_000)
     } else {
         format!("{}.{:03}", nanos / 1_000, nanos % 1_000)

@@ -230,6 +230,17 @@ pub enum EventKind {
         /// Wall-clock nanoseconds inside the solver.
         wall_nanos: u64,
     },
+    /// The independent plan auditor re-verified the plan that just took
+    /// effect against the paper's constraint system (Eqs. 1–7). Emitted
+    /// under `debug_assertions` or when the run opts in via `--audit`.
+    AuditReport {
+        /// Number of constraint violations found (0 = clean).
+        violations: u32,
+        /// Hosting devices whose assignment was verified.
+        devices_checked: u32,
+        /// Families whose routing/coverage was verified.
+        families_checked: u32,
+    },
 }
 
 impl EventKind {
@@ -251,6 +262,7 @@ impl EventKind {
             EventKind::ReplanTriggered { .. } => "replan_triggered",
             EventKind::PlanApplied { .. } => "plan_applied",
             EventKind::SolveStats { .. } => "solve_stats",
+            EventKind::AuditReport { .. } => "audit_report",
         }
     }
 

@@ -117,6 +117,16 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
                 ",\"nodes\":{nodes},\"pivots\":{pivots},\"warm\":{warm_starts},\"wall\":{wall_nanos}"
             );
         }
+        EventKind::AuditReport {
+            violations,
+            devices_checked,
+            families_checked,
+        } => {
+            let _ = write!(
+                s,
+                ",\"violations\":{violations},\"devices\":{devices_checked},\"families\":{families_checked}"
+            );
+        }
     }
     s.push('}');
     s
@@ -304,6 +314,11 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
             warm_starts: int("warm")?,
             wall_nanos: int("wall")?,
         },
+        "audit_report" => EventKind::AuditReport {
+            violations: int("violations")? as u32,
+            devices_checked: int("devices")? as u32,
+            families_checked: int("families")? as u32,
+        },
         other => {
             return Err(ParseEventError {
                 line: 0,
@@ -357,7 +372,7 @@ fn parse_object(text: &str) -> Result<Vec<(String, Val)>, String> {
         pos: 0,
     };
     p.skip_ws();
-    p.expect(b'{')?;
+    p.expect_byte(b'{')?;
     let mut fields = Vec::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
@@ -367,7 +382,7 @@ fn parse_object(text: &str) -> Result<Vec<(String, Val)>, String> {
             p.skip_ws();
             let key = p.string()?;
             p.skip_ws();
-            p.expect(b':')?;
+            p.expect_byte(b':')?;
             p.skip_ws();
             let value = p.value()?;
             fields.push((key, value));
@@ -408,7 +423,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
         match self.next() {
             Some(b) if b == want => Ok(()),
             other => Err(format!("expected `{}`, got {other:?}", want as char)),
@@ -416,7 +431,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.next() {
@@ -442,7 +457,7 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
         if text.is_empty() {
             return Err("expected a number".into());
         }
@@ -585,6 +600,11 @@ mod tests {
                 pivots: 340,
                 warm_starts: 11,
                 wall_nanos: 1_500_000,
+            },
+            EventKind::AuditReport {
+                violations: 0,
+                devices_checked: 9,
+                families_checked: 9,
             },
         ];
         kinds

@@ -37,6 +37,8 @@
 //! assert_eq!(sink.events().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod chrome;
 pub mod event;

@@ -32,6 +32,8 @@
 //! assert!((mean_gap - 0.01).abs() < 0.005);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod io;
 

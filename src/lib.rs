@@ -35,6 +35,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries that regenerate every figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use proteus_core as core;
 pub use proteus_metrics as metrics;
 pub use proteus_profiler as profiler;

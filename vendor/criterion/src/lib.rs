@@ -1,0 +1,215 @@
+//! Offline vendored shim for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io mirror, so the real `criterion`
+//! crate cannot be downloaded. This shim keeps the same source-level API
+//! for the workspace's three benches (`Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`bench_with_input`/`finish`,
+//! `Bencher::iter`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! and reports a simple mean wall-time per iteration instead of
+//! criterion's full statistical analysis. `BENCH_solver.json` (the
+//! dep-free harness) remains the tracked performance baseline; these
+//! benches are for quick local comparison and CI compile coverage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `routine` and prints one line: `<id> ... <mean>/iter`.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, routine);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `group/...`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing an id prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Times `routine` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, routine);
+        self
+    }
+
+    /// Times `routine(bencher, input)` under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (The real crate renders summary statistics here;
+    /// the shim prints per-benchmark lines as they complete.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just `<parameter>` (the group name already scopes it).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Times one benchmark: a single warm-up call, then `samples` timed
+/// iterations, reporting the mean.
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut routine: F) {
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut warmup);
+    let mut bencher = Bencher {
+        iters: samples as u64,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    println!("{id:<48} {}", humanize(per_iter));
+}
+
+/// Renders seconds-per-iteration with a sensible unit.
+fn humanize(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner: `criterion_group!(name, fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        // One warm-up iteration plus ten timed ones.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn groups_respect_sample_size_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| seen += x)
+        });
+        group.finish();
+        assert_eq!(seen, 7 * 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn humanize_picks_units() {
+        assert!(humanize(2.0).ends_with("s/iter"));
+        assert!(humanize(2e-3).ends_with("ms/iter"));
+        assert!(humanize(2e-6).ends_with("us/iter"));
+        assert!(humanize(2e-9).ends_with("ns/iter"));
+    }
+}

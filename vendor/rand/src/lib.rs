@@ -1,0 +1,177 @@
+//! Offline vendored shim for the subset of the `rand` 0.9 API this
+//! workspace uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! `rand` crate cannot be downloaded. This shim implements exactly the
+//! surface the workspace relies on:
+//!
+//! - [`rngs::StdRng`] — a deterministic, seedable generator,
+//! - [`SeedableRng::seed_from_u64`],
+//! - [`Rng::random`] for `f64` (uniform in `[0, 1)`) and `bool`,
+//! - generic call sites of the form `fn f<R: Rng + ?Sized>(rng: &mut R)`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 (both public
+//! domain reference algorithms). Streams differ from the real `rand`
+//! crate's ChaCha12-based `StdRng`, which is fine: the workspace only
+//! requires determinism for a fixed seed, not any particular stream.
+
+#![forbid(unsafe_code)]
+
+/// Low-level uniform bit source. The only required method is
+/// [`RngCore::next_u64`]; everything else derives from it.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension trait, blanket-implemented for every
+/// [`RngCore`] (including `&mut R`), mirroring the real crate.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution:
+    /// uniform in `[0, 1)` for `f64`, fair coin for `bool`.
+    fn random<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a canonical "standard" distribution under [`Rng::random`].
+pub trait SampleStandard {
+    /// Draws one sample from the standard distribution for this type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use a high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Seedable generators. Only the `u64` convenience constructor is
+/// exposed; the workspace never uses byte-array seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic pseudo-random generator (xoshiro256++).
+    ///
+    /// Not cryptographically secure — neither is the simulation's use of
+    /// it. Identical seeds yield identical streams on every platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed into 256 bits of state, as
+            // recommended by the xoshiro authors.
+            let mut seed = state;
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_yield_identical_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32)
+            .filter(|_| a.random::<f64>() == b.random::<f64>())
+            .count();
+        assert!(same < 4, "streams should differ: {same} collisions");
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_unsized_generic_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn bool_samples_land_on_both_sides() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((300..700).contains(&heads), "heads {heads}");
+    }
+}

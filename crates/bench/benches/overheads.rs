@@ -67,6 +67,7 @@ fn milp_solve(c: &mut Criterion) {
         cluster: &cluster,
         zoo: &zoo,
         store: &store,
+        down: &[],
     };
     let demand = FamilyMap::from_fn(|f| 40.0 + 10.0 * f.index() as f64);
     let config = MilpConfig::default();

@@ -60,6 +60,7 @@ fn solve(cluster: &Cluster, zoo: &ModelZoo, families: usize, config: &MilpConfig
         cluster,
         zoo,
         store: &store,
+        down: &[],
     };
     let demand = demand_for(families);
     let _ = black_box(solve_allocation(&ctx, black_box(&demand), None, config));

@@ -59,6 +59,7 @@ fn measure(cluster: &Cluster, zoo: &ModelZoo, families: usize, per_device: bool)
         cluster,
         zoo,
         store: &store,
+        down: &[],
     };
     let demand = FamilyMap::from_fn(|f| {
         if f.index() < families {

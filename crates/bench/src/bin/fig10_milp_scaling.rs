@@ -46,6 +46,7 @@ fn solve_point(cluster: &Cluster, zoo: &ModelZoo, families: usize, per_device: b
         cluster,
         zoo,
         store: &store,
+        down: &[],
     };
     let demand = FamilyMap::from_fn(|f| {
         if f.index() < families {

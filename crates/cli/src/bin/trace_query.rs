@@ -152,6 +152,25 @@ fn describe(kind: &EventKind) -> String {
             "plan audit: {violations} violation(s) over {devices_checked} devices, \
              {families_checked} families"
         ),
+        EventKind::WorkerCrashed { device } => format!("{device} crashed"),
+        EventKind::WorkerRecovered { device } => format!("{device} recovered"),
+        EventKind::QueryRetried {
+            query,
+            from,
+            attempt,
+        } => format!("query {query} retried away from {from} (attempt {attempt})"),
+        EventKind::LoadFailed {
+            device,
+            variant,
+            attempt,
+        } => match variant {
+            Some(v) => format!("{device} load of {v} failed (attempt {attempt})"),
+            None => format!("{device} unload failed (attempt {attempt})"),
+        },
+        EventKind::StragglerStarted { device, slowdown } => {
+            format!("{device} straggling ({slowdown}x slower)")
+        }
+        EventKind::StragglerEnded { device } => format!("{device} back to nominal speed"),
     }
 }
 

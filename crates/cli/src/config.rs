@@ -27,6 +27,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+use proteus_sim::FaultSchedule;
+
 /// Which demand trace to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
@@ -113,6 +115,9 @@ pub struct ExperimentConfig {
     /// checks at end of run, even in release builds (`--audit` flag or
     /// `audit = true`).
     pub audit: bool,
+    /// Injected fault schedule (`faults = crash@30:2; recover@90:2; ...`
+    /// or the `--faults` flag). Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl Default for ExperimentConfig {
@@ -131,6 +136,7 @@ impl Default for ExperimentConfig {
             beta: 1.05,
             output: OutputKind::Summary,
             audit: false,
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -232,6 +238,11 @@ impl FromStr for ExperimentConfig {
                     config.realloc_period_secs = num(value)?
                 }
                 "beta" => config.beta = num(value)?,
+                "faults" => {
+                    config.faults = value
+                        .parse()
+                        .map_err(|e: proteus_sim::ParseFaultError| bad(e.to_string()))?;
+                }
                 "audit" => {
                     config.audit = match value {
                         "true" | "on" | "1" => true,
@@ -352,6 +363,19 @@ mod tests {
             let c: ExperimentConfig = format!("batching = {name}").parse().unwrap();
             assert_eq!(c.batching, kind, "{name}");
         }
+    }
+
+    #[test]
+    fn parses_fault_schedule() {
+        let c: ExperimentConfig = "faults = crash@30:2; recover@90:2; loadfail@0.1"
+            .parse()
+            .unwrap();
+        assert_eq!(c.faults.events.len(), 2);
+        assert_eq!(c.faults.load_failure_p, 0.1);
+        let err = "faults = crash@30".parse::<ExperimentConfig>().unwrap_err();
+        assert!(err.reason.contains("bad fault spec"), "{}", err.reason);
+        // Default: no faults.
+        assert!(ExperimentConfig::default().faults.is_empty());
     }
 
     #[test]

@@ -28,10 +28,12 @@ cluster = 20, 10, 10       # CPU, GTX 1080 Ti, V100 workers
 realloc_period = 30
 beta = 1.05
 output = summary           # summary | timeseries | families | latency
+# faults = crash@300:31; recover@600:31; loadfail@0.05   # fault injection
 ";
 
 const USAGE: &str = "\
-usage: proteus <config-file> [--audit] [--trace <path>] [--trace-format jsonl|chrome]
+usage: proteus <config-file> [--audit] [--faults <spec>]
+               [--trace <path>] [--trace-format jsonl|chrome]
        proteus --print-default-config
 
 Runs a Proteus inference-serving experiment described by a
@@ -40,6 +42,10 @@ Runs a Proteus inference-serving experiment described by a
   --audit                 re-verify every plan with the independent
                           auditor (Eqs. 1-7) and check DES invariants;
                           exits nonzero on any violation
+  --faults <spec>         inject faults: `;`-separated clauses
+                          crash@<secs>:<dev>, recover@<secs>:<dev>,
+                          slow@<start>-<end>:<dev>x<factor>, loadfail@<p>
+                          (overrides the config's `faults` key)
   --trace <path>          record flight-recorder events to <path>
   --trace-format <fmt>    jsonl (default; analyse with trace-query) or
                           chrome (open in chrome://tracing or Perfetto)";
@@ -57,6 +63,7 @@ struct CliArgs {
     trace_path: Option<String>,
     trace_format: TraceFormat,
     audit: bool,
+    faults: Option<String>,
 }
 
 /// Splits flags (any position) from the one positional config path.
@@ -65,10 +72,15 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut trace_path = None;
     let mut trace_format = TraceFormat::Jsonl;
     let mut audit = false;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--audit" => audit = true,
+            "--faults" => {
+                let spec = it.next().ok_or("--faults needs a schedule spec")?;
+                faults = Some(spec.clone());
+            }
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a file path")?;
                 trace_path = Some(path.clone());
@@ -97,6 +109,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         trace_path,
         trace_format,
         audit,
+        faults,
     })
 }
 
@@ -166,6 +179,22 @@ fn main() -> ExitCode {
                 }
             };
             config.audit |= cli.audit;
+            if let Some(spec) = &cli.faults {
+                config.faults = match spec.parse() {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            if !config.faults.is_empty() {
+                eprintln!(
+                    "faults: {} scripted event(s), load failure p = {}",
+                    config.faults.events.len(),
+                    config.faults.load_failure_p
+                );
+            }
             eprintln!(
                 "running: {:?} allocation, {:?} batching, {:?} trace ({} s, peak {} QPS)",
                 config.allocation,
@@ -242,8 +271,17 @@ mod tests {
     }
 
     #[test]
+    fn parses_faults_flag() {
+        let c = parse_args(&argv(&["exp.conf", "--faults", "crash@30:2"])).unwrap();
+        assert_eq!(c.faults.as_deref(), Some("crash@30:2"));
+        let c = parse_args(&argv(&["exp.conf"])).unwrap();
+        assert!(c.faults.is_none());
+    }
+
+    #[test]
     fn rejects_bad_flag_usage() {
         assert!(parse_args(&argv(&["exp.conf", "--trace"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--faults"])).is_err());
         assert!(parse_args(&argv(&["exp.conf", "--trace-format", "xml"])).is_err());
         assert!(parse_args(&argv(&["exp.conf", "--frobnicate"])).is_err());
         assert!(parse_args(&argv(&["a.conf", "b.conf"])).is_err());

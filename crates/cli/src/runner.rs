@@ -92,6 +92,7 @@ pub fn run_experiment_traced(
     system_config.demand_headroom = config.beta;
     system_config.seed = config.seed;
     system_config.audit = config.audit;
+    system_config.faults = config.faults.clone();
 
     let mut system = ServingSystem::new(
         system_config,

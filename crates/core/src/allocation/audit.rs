@@ -19,6 +19,7 @@
 //! | routed QPS per device ≤ the replica's peak throughput | Eq. 5 | [`PlanViolation::DeviceOverloaded`] |
 //! | shrink-scaled routed throughput covers offered demand | Eqs. 4 + 6 | [`PlanViolation::CoverageShortfall`] |
 //! | reported per-family capacity = Σ hosting peaks | bookkeeping for Eq. 5 | [`PlanViolation::CapacityMisreported`] |
+//! | nothing is placed on or routed to a down device | failure-aware replanning (§5) | [`PlanViolation::DownDevice`] |
 
 use std::fmt;
 
@@ -131,6 +132,12 @@ pub enum PlanViolation {
         /// The repeated device.
         device: DeviceId,
     },
+    /// The plan places a model on, or routes queries to, a device the
+    /// context declared down (failure-aware replanning must exclude it).
+    DownDevice {
+        /// The dead device.
+        device: DeviceId,
+    },
 }
 
 impl PlanViolation {
@@ -147,6 +154,7 @@ impl PlanViolation {
             PlanViolation::CapacityMisreported { .. } => "capacity-misreported",
             PlanViolation::InvalidRoutingWeight { .. } => "invalid-routing-weight",
             PlanViolation::DuplicateRouting { .. } => "duplicate-routing",
+            PlanViolation::DownDevice { .. } => "down-device",
         }
     }
 }
@@ -214,6 +222,9 @@ impl fmt::Display for PlanViolation {
             PlanViolation::DuplicateRouting { family, device } => {
                 write!(f, "{family} routes to {device} twice")
             }
+            PlanViolation::DownDevice { device } => {
+                write!(f, "plan uses down device {device}")
+            }
         }
     }
 }
@@ -278,6 +289,10 @@ pub fn audit_plan(
             violations.push(PlanViolation::UnknownDevice { device });
             continue;
         };
+        if !ctx.is_up(device) {
+            violations.push(PlanViolation::DownDevice { device });
+            continue;
+        }
         let available_mib = spec.device_type.memory_mib();
         let required_mib = ctx
             .zoo
@@ -323,6 +338,10 @@ pub fn audit_plan(
             seen.push(device);
             if ctx.cluster.device(device).is_none() {
                 violations.push(PlanViolation::UnknownDevice { device });
+                continue;
+            }
+            if !ctx.is_up(device) {
+                violations.push(PlanViolation::DownDevice { device });
                 continue;
             }
             match plan.assignment(device) {
@@ -420,6 +439,7 @@ mod tests {
                 cluster: &self.cluster,
                 zoo: &self.zoo,
                 store: &self.store,
+                down: &[],
             }
         }
     }
@@ -564,6 +584,44 @@ mod tests {
                 .iter()
                 .any(|v| v.kind() == "capacity-misreported"),
             "expected capacity-misreported, got: {report}"
+        );
+    }
+
+    #[test]
+    fn catches_placement_on_down_device() {
+        let env = Env::new();
+        let d = demand();
+        // Solve with everything alive, then audit as if a hosting device had
+        // crashed: the stale plan must be flagged.
+        let plan = solved_plan(&env, &d);
+        let (dead, _) = plan
+            .routing(ModelFamily::EfficientNet)
+            .first()
+            .copied()
+            .unwrap();
+        let down = [dead];
+        let ctx = AllocContext {
+            cluster: &env.cluster,
+            zoo: &env.zoo,
+            store: &env.store,
+            down: &down,
+        };
+        let report = audit_plan(&ctx, &d, &plan);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::DownDevice { device } if *device == dead)),
+            "expected down-device, got: {report}"
+        );
+        // A failure-aware re-solve against the same context passes.
+        let replanned = solve_allocation(&ctx, &d, Some(&plan), &MilpConfig::default())
+            .unwrap()
+            .plan;
+        let report = audit_plan(&ctx, &d, &replanned);
+        assert!(
+            report.is_clean(),
+            "replanned plan must audit clean: {report}"
         );
     }
 

@@ -209,7 +209,8 @@ pub fn solve_allocation(
     let demand = FamilyMap::from_fn(|f| demand[f].max(0.25));
     // Strict Eq. 6 needs one hosting device per family with demand; a
     // smaller cluster is integrally infeasible at *any* uniform shrink, so
-    // skip straight to the soft fallback.
+    // skip straight to the soft fallback. Down devices can host nothing, so
+    // only the live ones count.
     let families_needed = ModelFamily::ALL
         .iter()
         .filter(|&&f| demand[f] > 0.0 && ctx.zoo.variants_of(f).next().is_some())
@@ -217,7 +218,7 @@ pub fn solve_allocation(
     // Accumulated across every attempt: a replan's true solver cost
     // includes the rounds that came back infeasible.
     let mut total = SolveStats::default();
-    if families_needed <= ctx.cluster.len() {
+    if families_needed <= ctx.up_len() {
         let mut shrink = 1.0;
         for _round in 0..=config.max_shrink_rounds {
             let target = demand.scaled(1.0 / shrink);
@@ -291,7 +292,7 @@ struct Pair {
 fn candidate_pairs(ctx: &AllocContext<'_>, config: &MilpConfig) -> Vec<Pair> {
     let mut pairs = Vec::new();
     for device_type in DeviceType::ALL {
-        if ctx.cluster.count_of(device_type) == 0 {
+        if ctx.up_count_of(device_type) == 0 {
             continue;
         }
         for variant in ctx.zoo.iter() {
@@ -333,7 +334,7 @@ fn solve_aggregated(
     let mut n_vars = Vec::with_capacity(pairs.len());
     let mut z_vars = Vec::with_capacity(pairs.len());
     for p in &pairs {
-        let count = ctx.cluster.count_of(p.device_type) as f64;
+        let count = ctx.up_count_of(p.device_type) as f64;
         n_vars.push(lp.add_integer(
             format!("n_{}_{}", p.device_type, p.variant),
             0.0,
@@ -361,11 +362,7 @@ fn solve_aggregated(
             .map(|(_, &v)| (v, 1.0))
             .collect();
         if !terms.is_empty() {
-            lp.add_constraint(
-                terms,
-                Relation::Le,
-                ctx.cluster.count_of(device_type) as f64,
-            );
+            lp.add_constraint(terms, Relation::Le, ctx.up_count_of(device_type) as f64);
         }
     }
 
@@ -374,6 +371,11 @@ fn solve_aggregated(
     if let (Some(swap), Some(cur)) = (config.swap_cost, current) {
         let mut cur_counts = vec![0u32; pairs.len()];
         for (device, variant) in cur.assignments() {
+            // A down device's replica is already lost: keeping it earns no
+            // swap credit.
+            if !ctx.is_up(device) {
+                continue;
+            }
             if let Some(spec) = ctx.cluster.device(device) {
                 if let Some(idx) = pairs
                     .iter()
@@ -463,6 +465,9 @@ fn solve_aggregated(
     let hint = current.and_then(|cur| {
         let mut counts = vec![0u32; pairs.len()];
         for (device, variant) in cur.assignments() {
+            if !ctx.is_up(device) {
+                continue;
+            }
             let spec = ctx.cluster.device(device)?;
             let idx = pairs
                 .iter()
@@ -520,7 +525,12 @@ fn expand_aggregated(
             .filter(|((p, &c), _)| p.device_type == device_type && c > 0)
             .map(|((p, &c), &r)| (p.variant, c, r))
             .collect();
-        let devices: Vec<DeviceId> = ctx.cluster.of_type(device_type).map(|d| d.id).collect();
+        let devices: Vec<DeviceId> = ctx
+            .cluster
+            .of_type(device_type)
+            .filter(|d| ctx.is_up(d.id))
+            .map(|d| d.id)
+            .collect();
         let mut free: Vec<DeviceId> = Vec::new();
         let mut chosen: Vec<(DeviceId, VariantId)> = Vec::new();
 
@@ -649,6 +659,13 @@ fn solve_per_device(
                 f64::INFINITY,
                 obj,
             );
+            // Device mask: a down device keeps its variables (the encoding
+            // stays uniform) but both are pinned to zero, so the solver can
+            // neither host nor route anything there.
+            if !ctx.is_up(device.id) {
+                lp.fix_zero(x);
+                lp.fix_zero(z);
+            }
             cells.push(Cell {
                 device: device.id,
                 variant: p.variant,
@@ -747,6 +764,16 @@ mod tests {
                 cluster: &self.cluster,
                 zoo: &self.zoo,
                 store: &self.store,
+                down: &[],
+            }
+        }
+
+        fn ctx_down<'a>(&'a self, down: &'a [DeviceId]) -> AllocContext<'a> {
+            AllocContext {
+                cluster: &self.cluster,
+                zoo: &self.zoo,
+                store: &self.store,
+                down,
             }
         }
     }
@@ -991,6 +1018,59 @@ mod tests {
         )
         .unwrap();
         assert_eq!(free.plan.validate(&env.ctx()), None);
+    }
+
+    #[test]
+    fn down_devices_receive_no_placement_in_either_formulation() {
+        let env = Env::new(2, 2, 2);
+        let mut demand = FamilyMap::default();
+        demand[ModelFamily::EfficientNet] = 60.0;
+        demand[ModelFamily::ResNet] = 30.0;
+        let down = [DeviceId(1), DeviceId(3)];
+        for formulation in [Formulation::TypeAggregated, Formulation::PerDevice] {
+            let config = MilpConfig {
+                formulation,
+                ..MilpConfig::default()
+            };
+            let ctx = env.ctx_down(&down);
+            let out = solve_allocation(&ctx, &demand, None, &config).unwrap();
+            for &d in &down {
+                assert_eq!(
+                    out.plan.assignment(d),
+                    None,
+                    "{formulation:?} placed a model on down device {d}"
+                );
+            }
+            for family in ModelFamily::ALL {
+                for &(d, _) in out.plan.routing(family) {
+                    assert!(
+                        !down.contains(&d),
+                        "{formulation:?} routes {family} to down device {d}"
+                    );
+                }
+            }
+            // Live devices still serve the demand.
+            assert!(out.plan.capacity(ModelFamily::EfficientNet) > 0.0);
+        }
+    }
+
+    #[test]
+    fn losing_devices_shrinks_capacity_but_stays_feasible() {
+        let env = Env::new(1, 1, 1);
+        let demand = demand_single(ModelFamily::EfficientNet, 200.0);
+        let full = solve_allocation(&env.ctx(), &demand, None, &MilpConfig::default()).unwrap();
+        // Take the V100 (the fastest device) away; the plan must fall back
+        // onto the remaining hardware with no worse than equal capacity.
+        let down = [DeviceId(2)];
+        let ctx = env.ctx_down(&down);
+        let degraded = solve_allocation(&ctx, &demand, None, &MilpConfig::default()).unwrap();
+        assert_eq!(degraded.plan.assignment(DeviceId(2)), None);
+        assert!(
+            degraded.plan.capacity(ModelFamily::EfficientNet)
+                <= full.plan.capacity(ModelFamily::EfficientNet) + 1e-9,
+            "losing a device cannot increase capacity"
+        );
+        assert!(degraded.plan.capacity(ModelFamily::EfficientNet) > 0.0);
     }
 
     #[test]

@@ -13,7 +13,9 @@ pub mod milp;
 
 use std::collections::BTreeSet;
 
-use proteus_profiler::{Cluster, DeviceId, ModelFamily, ModelZoo, ProfileStore, VariantId};
+use proteus_profiler::{
+    Cluster, DeviceId, DeviceType, ModelFamily, ModelZoo, ProfileStore, VariantId,
+};
 
 use crate::FamilyMap;
 
@@ -26,6 +28,29 @@ pub struct AllocContext<'a> {
     pub zoo: &'a ModelZoo,
     /// Profiled latency/throughput/memory data.
     pub store: &'a ProfileStore,
+    /// Devices currently down: allocators must place nothing on them and
+    /// route nothing to them (empty = everything is alive).
+    pub down: &'a [DeviceId],
+}
+
+impl AllocContext<'_> {
+    /// Whether a device is alive and therefore placeable.
+    pub fn is_up(&self, device: DeviceId) -> bool {
+        !self.down.contains(&device)
+    }
+
+    /// Number of *live* devices of the given hardware type.
+    pub fn up_count_of(&self, device_type: DeviceType) -> usize {
+        self.cluster
+            .of_type(device_type)
+            .filter(|s| self.is_up(s.id))
+            .count()
+    }
+
+    /// Number of live devices in the cluster.
+    pub fn up_len(&self) -> usize {
+        self.cluster.iter().filter(|s| self.is_up(s.id)).count()
+    }
 }
 
 /// A complete resource-allocation decision: per-device variant assignment
@@ -250,6 +275,7 @@ mod tests {
             cluster: &cluster,
             zoo: &zoo,
             store: &store,
+            down: &[],
         };
         let mut plan = AllocationPlan::empty(4);
         // Device 3 is the V100; host EfficientNet-b4 there.
@@ -265,6 +291,7 @@ mod tests {
             cluster: &cluster,
             zoo: &zoo,
             store: &store,
+            down: &[],
         };
         let mut plan = AllocationPlan::empty(4);
         plan.assign(DeviceId(3), Some(vid(ModelFamily::EfficientNet, 0)));
@@ -279,6 +306,7 @@ mod tests {
             cluster: &cluster,
             zoo: &zoo,
             store: &store,
+            down: &[],
         };
         let mut plan = AllocationPlan::empty(4);
         plan.set_routing(ModelFamily::ResNet, vec![(DeviceId(0), 1.0)]);
@@ -292,6 +320,7 @@ mod tests {
             cluster: &cluster,
             zoo: &zoo,
             store: &store,
+            down: &[],
         };
         let mut plan = AllocationPlan::empty(4);
         // GPT2-xl does not fit the 1080 Ti (device 2).
@@ -306,6 +335,7 @@ mod tests {
             cluster: &cluster,
             zoo: &zoo,
             store: &store,
+            down: &[],
         };
         let plan = AllocationPlan::empty(2);
         assert!(plan.validate(&ctx).unwrap().contains("cluster"));

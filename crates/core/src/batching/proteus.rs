@@ -51,13 +51,20 @@ impl BatchPolicy for ProteusBatching {
         let q = ctx.queue.len() as u32;
         // Largest batch that still honours the first query's deadline.
         let safe = ctx.largest_safe_batch(max_batch);
-        debug_assert!(safe >= 1, "first query survived the drop check");
+        if safe == 0 {
+            // Today the drop check above and the safe-batch scan share one
+            // boundary condition, so this cannot fire — but that held only
+            // by debug assertion, and a release build would have executed a
+            // "batch" the first deadline cannot survive. Shed the head and
+            // let the worker loop re-evaluate the remainder.
+            return BatchDecision::DropExpired(1);
+        }
 
         // If the queue already holds more than one safe batch — or the batch
         // ceiling is reached — waiting cannot help: run the biggest safe
         // batch now.
         if q >= max_batch || safe < q {
-            return BatchDecision::Execute(safe.max(1));
+            return BatchDecision::Execute(safe);
         }
 
         // q == safe < max_batch: consider waiting for query q+1, whose cost
@@ -177,6 +184,41 @@ mod tests {
             }
         }
         panic!("policy never executed");
+    }
+
+    #[test]
+    fn boundary_times_never_execute_doomed_batches() {
+        // Sweeps `now` in nanosecond steps across the exact drop/execute
+        // boundary (first deadline minus a 1-batch latency). Whatever side
+        // of the float boundary each helper lands on, the decision must be
+        // a drop or an on-time execute — never a batch that finishes past
+        // the first deadline. This is the release-profile guarantee: with
+        // debug assertions compiled out, the explicit `safe == 0` handling
+        // is all that stands between a boundary case and a late batch.
+        let (p, slo) = profile();
+        let q = queue(4, SimTime::ZERO, SimTime::ZERO, slo);
+        let deadline = q[0].deadline;
+        let edge = deadline - SimTime::from_millis_f64(p.latency(1));
+        for delta in -3i64..=3 {
+            let now = if delta < 0 {
+                edge - SimTime::from_nanos(-delta as u64)
+            } else {
+                edge + SimTime::from_nanos(delta as u64)
+            };
+            let mut policy = ProteusBatching;
+            match policy.decide(&ctx(now, &q, &p)) {
+                BatchDecision::Execute(k) => {
+                    assert!(k >= 1);
+                    assert!(
+                        now + SimTime::from_millis_f64(p.latency(k)) <= deadline,
+                        "batch of {k} at {now} misses the first deadline {deadline}"
+                    );
+                }
+                BatchDecision::DropExpired(n) => assert!(n >= 1),
+                BatchDecision::WaitUntil(t) => assert!(t > now),
+                BatchDecision::Idle => panic!("non-empty queue must not idle"),
+            }
+        }
     }
 
     #[test]

@@ -90,6 +90,10 @@ impl Router {
 
     /// Picks the next device (smooth weighted round-robin), or `None` if the
     /// family has no host.
+    ///
+    /// Ties break toward the lowest-index entry (a strict `>` scan), so
+    /// equal-weight plans start from the first device instead of biasing
+    /// early traffic toward the highest index.
     pub fn route(&mut self) -> Option<DeviceId> {
         if self.entries.is_empty() {
             return None;
@@ -97,12 +101,30 @@ impl Router {
         for e in &mut self.entries {
             e.current += e.weight;
         }
-        let best = self
-            .entries
-            .iter_mut()
-            .max_by(|a, b| a.current.total_cmp(&b.current))?;
-        best.current -= self.total_weight;
-        Some(best.device)
+        let mut best = 0;
+        for i in 1..self.entries.len() {
+            if self.entries[i].current > self.entries[best].current {
+                best = i;
+            }
+        }
+        let e = &mut self.entries[best];
+        e.current -= self.total_weight;
+        Some(e.device)
+    }
+
+    /// Drops a target (a crashed device) from the rotation immediately.
+    ///
+    /// Remaining weights are untouched — the SWRR proportions simply
+    /// renormalize over the survivors. Returns `true` if the device was a
+    /// target.
+    pub fn remove_target(&mut self, device: DeviceId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.device != device);
+        if self.entries.len() == before {
+            return false;
+        }
+        self.total_weight = self.entries.iter().map(|e| e.weight).sum();
+        true
     }
 }
 
@@ -183,6 +205,37 @@ mod tests {
             .find(|r| r.family() == ModelFamily::T5)
             .unwrap();
         assert!(!t5.has_targets());
+    }
+
+    #[test]
+    fn equal_weight_ties_break_toward_lowest_index() {
+        // Four equal hosts: the first pick must be device 0, and one full
+        // rotation must visit each host exactly once in index order.
+        let mut r = Router::new(
+            ModelFamily::Bert,
+            (0..4).map(|d| (DeviceId(d), 1.0)).collect(),
+        );
+        let seq: Vec<u32> = (0..8).map(|_| r.route().unwrap().0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn removing_a_target_renormalizes_the_rotation() {
+        let mut r = Router::new(
+            ModelFamily::Bert,
+            vec![(DeviceId(0), 1.0), (DeviceId(1), 1.0), (DeviceId(2), 2.0)],
+        );
+        assert!(r.remove_target(DeviceId(1)));
+        assert!(!r.remove_target(DeviceId(1)), "already gone");
+        assert_eq!(r.num_targets(), 2);
+        let c = counts(&mut r, 900);
+        assert!(!c.contains_key(&1), "dead device must never be picked");
+        assert_eq!(c[&0], 300);
+        assert_eq!(c[&2], 600);
+        // Removing the last targets empties the router cleanly.
+        assert!(r.remove_target(DeviceId(0)));
+        assert!(r.remove_target(DeviceId(2)));
+        assert_eq!(r.route(), None);
     }
 
     #[test]

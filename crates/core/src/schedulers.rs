@@ -64,6 +64,11 @@ fn finish_plan(ctx: &AllocContext<'_>, plan: &mut AllocationPlan) {
     let mut routing: FamilyMap<Vec<(DeviceId, f64)>> = FamilyMap::default();
     let mut capacity: FamilyMap<f64> = FamilyMap::default();
     for (device, variant) in plan.assignments() {
+        // Defensive: heuristics never assign down devices, but routing to
+        // one would be unserveable either way.
+        if !ctx.is_up(device) {
+            continue;
+        }
         let Some(spec) = ctx.cluster.device(device) else {
             continue;
         };
@@ -319,6 +324,9 @@ impl Allocator for SommelierAllocator {
             // Per-device: index into `variants`, starting at the most
             // accurate feasible one.
             let peak = |v: VariantId, d: DeviceId| {
+                if !ctx.is_up(d) {
+                    return 0.0;
+                }
                 ctx.cluster
                     .device(d)
                     .map_or(0.0, |s| ctx.store.peak_qps(v, s.device_type))
@@ -401,11 +409,23 @@ impl Allocator for InfaasAccuracyAllocator {
         _now: SimTime,
     ) -> AllocationPlan {
         let mut assignment: Vec<Option<VariantId>> = (0..ctx.cluster.len())
-            .map(|i| current.and_then(|c| c.assignment(DeviceId(i as u32))))
+            .map(|i| {
+                let d = DeviceId(i as u32);
+                // A down device's replica is gone; forget it so the deficit
+                // pass re-provisions elsewhere.
+                if !ctx.is_up(d) {
+                    return None;
+                }
+                current.and_then(|c| c.assignment(d))
+            })
             .collect();
         let peak_of = |v: VariantId, d: usize| {
+            let id = DeviceId(d as u32);
+            if !ctx.is_up(id) {
+                return 0.0;
+            }
             ctx.cluster
-                .device(DeviceId(d as u32))
+                .device(id)
                 .map_or(0.0, |s| ctx.store.peak_qps(v, s.device_type))
         };
         let capacity = |assignment: &[Option<VariantId>], family: ModelFamily| -> f64 {
@@ -447,9 +467,9 @@ impl Allocator for InfaasAccuracyAllocator {
                 if deficit <= 0.0 {
                     break;
                 }
-                // Claim the fastest free device first.
+                // Claim the fastest free *live* device first.
                 let free = (0..assignment.len())
-                    .filter(|&d| assignment[d].is_none())
+                    .filter(|&d| assignment[d].is_none() && ctx.is_up(DeviceId(d as u32)))
                     .max_by(|&a, &b| {
                         let pa = variants.iter().map(|&v| peak_of(v, a)).fold(0.0, f64::max);
                         let pb = variants.iter().map(|&v| peak_of(v, b)).fold(0.0, f64::max);
@@ -565,6 +585,7 @@ mod tests {
                 cluster: &self.cluster,
                 zoo: &self.zoo,
                 store: &self.store,
+                down: &[],
             }
         }
     }
@@ -698,6 +719,34 @@ mod tests {
         assert!(last > stressed, "accuracy must recover: {accs:?}");
         // Not instantaneous: the second sample is below the final value.
         assert!(accs[1] < last, "recovery must take several steps: {accs:?}");
+    }
+
+    #[test]
+    fn heuristic_allocators_avoid_down_devices() {
+        let env = Env::new(2, 2, 2);
+        let down = [DeviceId(4)]; // one of the V100s
+        let ctx = AllocContext {
+            cluster: &env.cluster,
+            zoo: &env.zoo,
+            store: &env.store,
+            down: &down,
+        };
+        let d = demand(ModelFamily::EfficientNet, 300.0);
+        let mut inf = InfaasAccuracyAllocator::default();
+        // Seed with a full-cluster plan so the down device starts assigned.
+        let seeded = inf.allocate(&env.ctx(), &d, None, SimTime::ZERO);
+        let plan = inf.allocate(&ctx, &d, Some(&seeded), SimTime::from_secs(1));
+        assert_eq!(plan.assignment(DeviceId(4)), None);
+        let mut som = SommelierAllocator::default();
+        let splan = som.allocate(&ctx, &d, None, SimTime::ZERO);
+        assert_eq!(splan.assignment(DeviceId(4)), None);
+        for p in [&plan, &splan] {
+            for family in ModelFamily::ALL {
+                for &(dev, _) in p.routing(family) {
+                    assert_ne!(dev, DeviceId(4), "routing to down device");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! cluster (§6.2 reports <1 % divergence; the `sim_vs_cluster` experiment
 //! reproduces that comparison).
 
+use std::collections::BTreeMap;
+
 use proteus_metrics::MetricsCollector;
 use proteus_profiler::{Cluster, ModelZoo, ProfileStore, SloPolicy, VariantId};
-use proteus_sim::{Actor, SimTime, Simulation};
+use proteus_sim::{Actor, EventKey, FaultKind, FaultSchedule, SimTime, Simulation};
 use proteus_solver::SolveStats;
 use proteus_trace::{DropReason, EventKind, NullSink, TraceEvent, TraceSink};
 // Re-exported so downstream code can name replan causes without depending
@@ -91,6 +93,11 @@ pub struct SystemConfig {
     /// scaling absorbs the burst. `None` = fixed-size cluster (the paper's
     /// main setting).
     pub elastic: Option<ElasticScaling>,
+    /// Deterministic fault-injection schedule (device crashes, recoveries,
+    /// straggler windows, load-failure probability). Empty by default: the
+    /// fault-free event stream is bit-identical to a build without this
+    /// field.
+    pub faults: FaultSchedule,
 }
 
 /// Configuration of the §7 hardware-scaling tandem extension.
@@ -144,6 +151,7 @@ impl SystemConfig {
             provision_demand: None,
             drain_secs: 5.0,
             elastic: None,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -223,6 +231,9 @@ pub struct DeviceStats {
     pub batches: u64,
     /// Number of queries served (in any batch).
     pub queries: u64,
+    /// Total time the device was online (alive). Elastic devices that join
+    /// mid-run and crashed devices accrue less than the full run span.
+    pub online: SimTime,
 }
 
 impl DeviceStats {
@@ -235,12 +246,22 @@ impl DeviceStats {
         }
     }
 
-    /// Fraction of `span` the device spent executing.
+    /// Fraction of the device's *online* time spent executing.
+    ///
+    /// `span` is the fallback denominator for stats built outside a run
+    /// (where [`DeviceStats::online`] was never accumulated); whenever
+    /// online time is recorded it is the denominator, so devices that
+    /// joined mid-run or spent time down are not under-reported.
     pub fn utilization(&self, span: SimTime) -> f64 {
-        if span == SimTime::ZERO {
+        let denom = if self.online > SimTime::ZERO {
+            self.online
+        } else {
+            span
+        };
+        if denom == SimTime::ZERO {
             0.0
         } else {
-            self.busy.as_secs_f64() / span.as_secs_f64()
+            self.busy.as_secs_f64() / denom.as_secs_f64()
         }
     }
 }
@@ -278,6 +299,8 @@ enum Event {
     /// One-shot re-allocation after a provisioning batch lands (scheduled
     /// behind the last same-instant [`Event::ProvisionReady`]).
     ProvisionedRealloc,
+    /// An injected fault from the configured [`FaultSchedule`].
+    Fault(FaultKind),
 }
 
 impl ServingSystem {
@@ -344,6 +367,7 @@ impl ServingSystem {
 
         let cluster = self.config.cluster.clone();
         let trace_on = trace.enabled();
+        let n = cluster.len();
         let mut engine = Engine {
             config: &self.config,
             store: &self.store,
@@ -363,6 +387,9 @@ impl ServingSystem {
                 0.4,
             ),
             rng: StdRng::seed_from_u64(self.config.seed),
+            // Dedicated stream: fault draws must not perturb the execution
+            // noise sequence, so a fault-free schedule replays identically.
+            fault_rng: StdRng::seed_from_u64(self.config.seed ^ 0x00c0_ffee_fa17_0000),
             last_realloc: SimTime::ZERO,
             planned_for: FamilyMap::default(),
             reallocations: 0,
@@ -374,7 +401,13 @@ impl ServingSystem {
             extra_ordered: 0,
             provisioned: 0,
             provision_realloc_at: None,
-            device_stats: vec![DeviceStats::default(); self.config.cluster.len()],
+            device_stats: vec![DeviceStats::default(); n],
+            inflight: std::iter::repeat_with(|| None).take(n).collect(),
+            slowdown: vec![1.0; n],
+            online_since: vec![Some(SimTime::ZERO); n],
+            retries: BTreeMap::new(),
+            load_attempts: vec![0; n],
+            down: Vec::new(),
             trace,
             trace_on,
             next_batch: 0,
@@ -398,6 +431,13 @@ impl ServingSystem {
         }
         // Initial allocation: models are pre-loaded before the trace starts.
         engine.initial_plan(&provision);
+        // Injected faults drive ordinary sim events; anything scheduled
+        // past the horizon can no longer affect metrics and is skipped.
+        for fault in &self.config.faults.events {
+            if fault.at <= horizon {
+                sim.schedule(fault.at, Event::Fault(fault.kind));
+            }
+        }
         if !arrivals.is_empty() {
             sim.schedule(arrivals[0].at, Event::NextArrival(0));
         }
@@ -416,6 +456,7 @@ impl ServingSystem {
         // Account anything still queued (nothing should be, since every
         // policy eventually executes or drops, but stay safe).
         engine.drain_leftovers();
+        engine.finalize_online();
 
         // End-of-run DES invariants (checked whenever auditing is on):
         // 1. event-time monotonicity — the kernel counts any regression;
@@ -461,6 +502,30 @@ impl ServingSystem {
     }
 }
 
+/// Retry budget per query after a device failure: a query that loses its
+/// host this many times is dropped as [`DropReason::DeviceFailed`] instead
+/// of bouncing through the cluster forever.
+const MAX_QUERY_RETRIES: u32 = 2;
+
+/// Attempts per model load before the controller gives up on the placement
+/// (the device then serves nothing until the next replan retargets it).
+const MAX_LOAD_ATTEMPTS: u32 = 3;
+
+/// Cap on the load-retry backoff exponent (delay × 2^attempt, at most 2^3).
+const LOAD_BACKOFF_CAP: u32 = 3;
+
+/// Shadow copy of an executing batch, kept so a device crash can salvage
+/// the in-flight queries (the DES kernel cancels by key and does not hand
+/// the payload back).
+#[derive(Debug)]
+struct InFlight {
+    key: EventKey,
+    batch: u64,
+    started: SimTime,
+    done_at: SimTime,
+    queries: Vec<Query>,
+}
+
 /// Mean per-family arrival rate of a trace, in QPS.
 pub fn mean_demand(arrivals: &[QueryArrival]) -> FamilyMap<f64> {
     let mut counts = FamilyMap::<f64>::default();
@@ -499,6 +564,21 @@ struct Engine<'a> {
     provisioned: u32,
     provision_realloc_at: Option<SimTime>,
     device_stats: Vec<DeviceStats>,
+    /// Per-device shadow of the executing batch (crash salvage).
+    inflight: Vec<Option<InFlight>>,
+    /// Per-device straggler latency multiplier (1.0 = nominal).
+    slowdown: Vec<f64>,
+    /// When each device last came online; `None` while it is down.
+    /// Accumulated into [`DeviceStats::online`] on crash and at end of run.
+    online_since: Vec<Option<SimTime>>,
+    /// Per-query failure-retry counts (keyed by query id).
+    retries: BTreeMap<u64, u32>,
+    /// Consecutive failed load attempts per device.
+    load_attempts: Vec<u32>,
+    /// Devices currently down, sorted — the allocation context's mask.
+    down: Vec<proteus_profiler::DeviceId>,
+    /// RNG for fault draws (load failures), independent of execution noise.
+    fault_rng: StdRng,
     /// Flight-recorder sink; [`NullSink`] when tracing is off.
     trace: &'a mut dyn TraceSink,
     /// Cached `trace.enabled()` — instrumentation sites guard event
@@ -555,6 +635,7 @@ impl Engine<'_> {
             cluster: &self.cluster,
             zoo: &self.config.zoo,
             store: self.store,
+            down: &self.down,
         };
         let demand = provision.scaled(self.config.demand_headroom);
         self.planned_for = *provision;
@@ -617,6 +698,7 @@ impl Engine<'_> {
             cluster: &self.cluster,
             zoo: &self.config.zoo,
             store: self.store,
+            down: &self.down,
         };
         let report = crate::allocation::audit::audit_plan(&ctx, demand, &self.plan);
         self.plan_audits += 1;
@@ -684,6 +766,11 @@ impl Engine<'_> {
         let store = self.store;
         loop {
             let worker = &mut self.workers[device];
+            // A down device executes nothing; its queue was salvaged at
+            // crash time and stays empty until recovery.
+            if !worker.is_up() {
+                return;
+            }
             if !worker.is_idle() {
                 return;
             }
@@ -721,7 +808,9 @@ impl Engine<'_> {
                     let k = k.max(1).min(self.workers[device].queue_len() as u32);
                     let batch = self.workers[device].take_front(k as usize);
                     let total_cost: f64 = batch.iter().map(|q| q.cost).sum();
-                    let until = now + self.noisy_latency(profile.latency_for_cost(total_cost));
+                    // A straggler window stretches execution latency.
+                    let nominal = profile.latency_for_cost(total_cost) * self.slowdown[device];
+                    let until = now + self.noisy_latency(nominal);
                     let stats = &mut self.device_stats[device];
                     stats.busy += until - now;
                     stats.batches += 1;
@@ -751,15 +840,23 @@ impl Engine<'_> {
                     }
                     self.workers[device].set_state(WorkerState::Busy(until));
                     self.cancel_timer(device, sim);
-                    sim.schedule(
+                    let key = sim.schedule(
                         until,
                         Event::BatchDone {
                             device: device as u32,
                             batch: batch_id,
                             accuracy: profile.accuracy(),
-                            queries: batch,
+                            queries: batch.clone(),
                         },
                     );
+                    // Shadow the batch so a crash can salvage it.
+                    self.inflight[device] = Some(InFlight {
+                        key,
+                        batch: batch_id,
+                        started: now,
+                        done_at: until,
+                        queries: batch,
+                    });
                     return;
                 }
                 BatchDecision::WaitUntil(t) => {
@@ -777,6 +874,23 @@ impl Engine<'_> {
     fn start_load(&mut self, device: usize, now: SimTime, sim: &mut Simulation<Event>) {
         let variant = self.workers[device].variant();
         let delay = self.load_delay(variant);
+        self.start_load_with_delay(device, now, delay, sim);
+    }
+
+    /// Starts a model-load window of an explicit duration (the duration is
+    /// pre-computed when a plan retargets a busy worker, and stretched by
+    /// backoff when a load attempt fails).
+    fn start_load_with_delay(
+        &mut self,
+        device: usize,
+        now: SimTime,
+        delay: SimTime,
+        sim: &mut Simulation<Event>,
+    ) {
+        if !self.workers[device].is_up() {
+            return;
+        }
+        let variant = self.workers[device].variant();
         self.cancel_timer(device, sim);
         let worker = &mut self.workers[device];
         if delay == SimTime::ZERO {
@@ -824,6 +938,12 @@ impl Engine<'_> {
             if i >= plan.num_devices() {
                 continue;
             }
+            // Down devices are outside the plan's reach (the solver's device
+            // mask placed nothing on them); whatever a scripted allocator
+            // says, a dead worker can neither load nor serve.
+            if !self.workers[i].is_up() {
+                continue;
+            }
             let new = plan.assignment(proteus_profiler::DeviceId(i as u32));
             let old = self.workers[i].variant();
             if new == old {
@@ -840,10 +960,15 @@ impl Engine<'_> {
                 displaced.extend(self.workers[i].drain_queue());
             }
             self.workers[i].set_variant(new);
+            self.load_attempts[i] = 0;
             match self.workers[i].state() {
                 WorkerState::Busy(_) => {
-                    // Swap after the in-flight batch completes.
-                    self.workers[i].pending_load = Some(SimTime::ZERO); // marker
+                    // Swap after the in-flight batch completes; the real
+                    // weight-transfer delay for the *new* variant is
+                    // computed now and charged at batch completion (a
+                    // zero-marker here would make the swap free).
+                    let delay = self.load_delay(new);
+                    self.workers[i].pending_load = Some(delay);
                 }
                 _ => to_load.push(i),
             }
@@ -858,6 +983,10 @@ impl Engine<'_> {
         for q in displaced {
             let qid = q.id.0;
             match self.route(q.family) {
+                // A scripted plan may still route to a dead device.
+                Some(d) if !self.workers[d].is_up() => {
+                    self.drop_query(now, &q, DropReason::DeviceFailed)
+                }
                 Some(d) => match self.workers[d].enqueue(q) {
                     Ok(()) => {
                         if self.trace_on {
@@ -909,6 +1038,7 @@ impl Engine<'_> {
             cluster: &self.cluster,
             zoo: &self.config.zoo,
             store: self.store,
+            down: &self.down,
         };
         // lint:allow(wall-clock) — measures real solver wall time for
         // SolveStats reporting; the result never feeds sim logic.
@@ -971,6 +1101,169 @@ impl Engine<'_> {
         }
         self.audit_applied_plan(now, &demand);
     }
+
+    /// Applies one injected fault from the schedule.
+    ///
+    /// Out-of-range device indices and redundant transitions (crashing a
+    /// dead device, recovering a live one) are no-ops: a random schedule
+    /// must never be able to wedge the engine.
+    fn handle_fault(&mut self, now: SimTime, kind: FaultKind, sim: &mut Simulation<Event>) {
+        let d = kind.device() as usize;
+        if d >= self.workers.len() {
+            return;
+        }
+        let id = proteus_profiler::DeviceId(kind.device());
+        match kind {
+            FaultKind::DeviceCrash { .. } => {
+                if !self.workers[d].is_up() {
+                    return;
+                }
+                self.workers[d].set_up(false);
+                if self.trace_on {
+                    self.emit(now, EventKind::WorkerCrashed { device: id });
+                }
+                // Mask the device out of future plans and stop routing to
+                // it right now — not at the next replan.
+                if let Err(pos) = self.down.binary_search(&id) {
+                    self.down.insert(pos, id);
+                }
+                for router in &mut self.routers {
+                    router.remove_target(id);
+                }
+                // Close the online window.
+                if let Some(since) = self.online_since[d].take() {
+                    self.device_stats[d].online += now.saturating_sub(since);
+                }
+                self.cancel_timer(d, sim);
+                // Any pending load completion is now meaningless.
+                self.workers[d].load_generation += 1;
+                self.workers[d].pending_load = None;
+                // Salvage the executing batch (its completion is cancelled
+                // and its stats rolled back — it never finished) plus
+                // everything still queued.
+                let mut salvage: Vec<Query> = Vec::new();
+                if let Some(inflight) = self.inflight[d].take() {
+                    sim.cancel(inflight.key);
+                    let stats = &mut self.device_stats[d];
+                    stats.busy = stats
+                        .busy
+                        .saturating_sub(inflight.done_at.saturating_sub(inflight.started));
+                    stats.batches = stats.batches.saturating_sub(1);
+                    stats.queries = stats.queries.saturating_sub(inflight.queries.len() as u64);
+                    salvage.extend(inflight.queries);
+                }
+                salvage.extend(self.workers[d].drain_queue());
+                self.workers[d].set_variant(None);
+                self.workers[d].set_state(WorkerState::Idle);
+                self.redispatch(now, id, salvage, sim);
+                // The controller replans immediately around the failure.
+                if !self.allocator.is_static() {
+                    self.reallocate(now, ReplanCause::DeviceFailure, sim);
+                }
+            }
+            FaultKind::DeviceRecover { .. } => {
+                if self.workers[d].is_up() {
+                    return;
+                }
+                self.workers[d].set_up(true);
+                // Back empty: no model survives a crash.
+                self.workers[d].set_variant(None);
+                self.workers[d].set_state(WorkerState::Idle);
+                self.load_attempts[d] = 0;
+                self.online_since[d] = Some(now);
+                if let Ok(pos) = self.down.binary_search(&id) {
+                    self.down.remove(pos);
+                }
+                if self.trace_on {
+                    self.emit(now, EventKind::WorkerRecovered { device: id });
+                }
+                // Fold the recovered capacity back into service.
+                if !self.allocator.is_static() {
+                    self.reallocate(now, ReplanCause::DeviceFailure, sim);
+                }
+            }
+            FaultKind::StragglerStart { slowdown, .. } => {
+                // Clamp defensively: a sub-1.0 factor would be a speedup.
+                let slowdown = slowdown.max(1.0);
+                self.slowdown[d] = slowdown;
+                if self.trace_on {
+                    self.emit(
+                        now,
+                        EventKind::StragglerStarted {
+                            device: id,
+                            slowdown,
+                        },
+                    );
+                }
+            }
+            FaultKind::StragglerEnd { .. } => {
+                self.slowdown[d] = 1.0;
+                if self.trace_on {
+                    self.emit(now, EventKind::StragglerEnded { device: id });
+                }
+            }
+        }
+    }
+
+    /// Re-routes queries salvaged from a crashed device.
+    ///
+    /// Each query carries a retry budget across failures; once it is spent
+    /// the query is dropped as [`DropReason::DeviceFailed`] rather than
+    /// bouncing around a failing cluster forever.
+    fn redispatch(
+        &mut self,
+        now: SimTime,
+        from: proteus_profiler::DeviceId,
+        salvage: Vec<Query>,
+        sim: &mut Simulation<Event>,
+    ) {
+        let mut touched = Vec::new();
+        for q in salvage {
+            let attempts = self.retries.entry(q.id.0).or_insert(0);
+            *attempts += 1;
+            let attempt = *attempts;
+            if attempt > MAX_QUERY_RETRIES {
+                self.drop_query(now, &q, DropReason::DeviceFailed);
+                continue;
+            }
+            match self.route(q.family) {
+                Some(d) if self.workers[d].is_up() => match self.workers[d].enqueue(q) {
+                    Ok(()) => {
+                        if self.trace_on {
+                            self.emit(
+                                now,
+                                EventKind::QueryRetried {
+                                    query: q.id.0,
+                                    from,
+                                    attempt,
+                                },
+                            );
+                        }
+                        touched.push(d);
+                    }
+                    Err(q) => self.drop_query(now, &q, DropReason::QueueFull),
+                },
+                // No live host for the family (or the router still points
+                // at a corpse): the query dies with the device.
+                _ => self.drop_query(now, &q, DropReason::DeviceFailed),
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for d in touched {
+            self.poke(d, now, sim);
+        }
+    }
+
+    /// Closes every still-open online window at the end of the run.
+    fn finalize_online(&mut self) {
+        let horizon = self.horizon;
+        for d in 0..self.online_since.len() {
+            if let Some(since) = self.online_since[d].take() {
+                self.device_stats[d].online += horizon.saturating_sub(since);
+            }
+        }
+    }
 }
 
 impl Actor for Engine<'_> {
@@ -995,6 +1288,11 @@ impl Actor for Engine<'_> {
                     );
                 }
                 match self.route(arrival.family) {
+                    // Scripted allocators may keep a dead device in their
+                    // routing tables; the solver path never does.
+                    Some(d) if !self.workers[d].is_up() => {
+                        self.drop_query(now, &query, DropReason::DeviceFailed)
+                    }
                     Some(d) => match self.workers[d].enqueue(query) {
                         Ok(()) => {
                             if self.trace_on {
@@ -1037,6 +1335,13 @@ impl Actor for Engine<'_> {
                 queries,
             } => {
                 let d = device as usize;
+                // A crash cancels the completion event and rolls the batch
+                // back; if the cancel raced with an already-popped event,
+                // the shadow's id mismatch rejects the stale completion.
+                if self.inflight[d].as_ref().map(|f| f.batch) != Some(batch) {
+                    return;
+                }
+                self.inflight[d] = None;
                 if self.trace_on {
                     self.emit(
                         now,
@@ -1070,8 +1375,10 @@ impl Actor for Engine<'_> {
                 }
                 self.workers[d].policy_mut().on_batch_complete(any_late);
                 self.workers[d].set_state(WorkerState::Idle);
-                if self.workers[d].pending_load.take().is_some() {
-                    self.start_load(d, now, sim);
+                if let Some(delay) = self.workers[d].pending_load.take() {
+                    // The swap deferred by `apply_plan`; its delay was
+                    // computed there, for the new variant.
+                    self.start_load_with_delay(d, now, delay, sim);
                 } else {
                     self.poke(d, now, sim);
                 }
@@ -1081,18 +1388,58 @@ impl Actor for Engine<'_> {
                 if self.workers[d].load_generation != generation {
                     return; // superseded by a newer plan
                 }
-                if matches!(self.workers[d].state(), WorkerState::Loading(_)) {
-                    self.workers[d].set_state(WorkerState::Idle);
+                if !matches!(self.workers[d].state(), WorkerState::Loading(_)) {
+                    return;
+                }
+                // Injected load failure: the weight transfer did not take.
+                // Retry with exponential backoff; after the attempt budget
+                // the placement is abandoned until the next replan.
+                let p = self.config.faults.load_failure_p.clamp(0.0, 1.0);
+                if p > 0.0 && rand::Rng::random::<f64>(&mut self.fault_rng) < p {
+                    let attempt = self.load_attempts[d] + 1;
+                    self.load_attempts[d] = attempt;
+                    let variant = self.workers[d].variant();
                     if self.trace_on {
                         self.emit(
                             now,
-                            EventKind::ModelLoadFinished {
+                            EventKind::LoadFailed {
                                 device: proteus_profiler::DeviceId(device),
+                                variant,
+                                attempt,
                             },
                         );
                     }
-                    self.poke(d, now, sim);
+                    if attempt >= MAX_LOAD_ATTEMPTS {
+                        // Give up: the device hosts nothing; queries that
+                        // piled up behind the load have no host here.
+                        self.workers[d].set_variant(None);
+                        self.workers[d].set_state(WorkerState::Idle);
+                        let orphans = self.workers[d].drain_queue();
+                        for q in orphans {
+                            self.drop_query(now, &q, DropReason::NoHost);
+                        }
+                        for router in &mut self.routers {
+                            router.remove_target(proteus_profiler::DeviceId(device));
+                        }
+                        return;
+                    }
+                    let base = self.load_delay(variant);
+                    let factor = (1u64 << attempt.min(LOAD_BACKOFF_CAP)) as f64;
+                    let delay = SimTime::from_secs_f64(base.as_secs_f64() * factor);
+                    self.start_load_with_delay(d, now, delay, sim);
+                    return;
                 }
+                self.load_attempts[d] = 0;
+                self.workers[d].set_state(WorkerState::Idle);
+                if self.trace_on {
+                    self.emit(
+                        now,
+                        EventKind::ModelLoadFinished {
+                            device: proteus_profiler::DeviceId(device),
+                        },
+                    );
+                }
+                self.poke(d, now, sim);
             }
             Event::MonitorTick => {
                 self.estimator.roll(now);
@@ -1143,6 +1490,10 @@ impl Actor for Engine<'_> {
                     self.config.queue_cap,
                 ));
                 self.device_stats.push(DeviceStats::default());
+                self.inflight.push(None);
+                self.slowdown.push(1.0);
+                self.online_since.push(Some(now));
+                self.load_attempts.push(0);
                 self.provisioned += 1;
                 if self.trace_on {
                     self.emit(
@@ -1165,6 +1516,7 @@ impl Actor for Engine<'_> {
             Event::ProvisionedRealloc => {
                 self.reallocate(now, ReplanCause::Provisioned, sim);
             }
+            Event::Fault(kind) => self.handle_fault(now, kind, sim),
         }
     }
 }
@@ -1429,6 +1781,131 @@ mod tests {
             es.avg_throughput_qps,
             fs.avg_throughput_qps
         );
+    }
+
+    fn run_with_faults(spec: &str, qps: f64, secs: u32) -> RunOutcome {
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        config.faults = spec.parse().unwrap();
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        system.run(&flat_arrivals(qps, secs, 7))
+    }
+
+    #[test]
+    fn device_crash_loses_no_queries_and_replans_around_it() {
+        let dead = proteus_profiler::DeviceId(7); // a V100, surely loaded
+        let outcome = run_with_faults("crash@5:7", 100.0, 15);
+        let s = outcome.metrics.summary();
+        // Zero lost queries: everything that arrived reached a terminal
+        // outcome even though a loaded worker died mid-run.
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert_eq!(outcome.audit_violations, 0, "audited replans stay clean");
+        // The failure triggered an immediate replan...
+        assert!(
+            outcome
+                .replan_log
+                .iter()
+                .any(|r| r.cause == ReplanCause::DeviceFailure),
+            "no DeviceFailure replan in {:?}",
+            outcome.replan_log
+        );
+        // ...whose plan placed nothing on the corpse.
+        assert!(outcome.final_plan.assignment(dead).is_none());
+        // Online accounting stops at the crash (5 s into a ~20 s span).
+        let online = outcome.device_stats[7].online;
+        assert!(
+            online >= SimTime::from_secs(5) && online < SimTime::from_secs(6),
+            "online {online}"
+        );
+        // Fault schedules stay deterministic.
+        let again = run_with_faults("crash@5:7", 100.0, 15);
+        assert_eq!(again.metrics.summary(), s);
+    }
+
+    #[test]
+    fn recovered_device_rejoins_service() {
+        let outcome = run_with_faults("crash@3:7; recover@8:7", 100.0, 15);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert_eq!(outcome.audit_violations, 0);
+        // Crash and recovery each force a replan.
+        let failure_replans = outcome
+            .replan_log
+            .iter()
+            .filter(|r| r.cause == ReplanCause::DeviceFailure)
+            .count();
+        assert!(failure_replans >= 2, "got {failure_replans}");
+        // Online time: [0, 3) plus [8, horizon≈20] — down for exactly 5 s.
+        let online = outcome.device_stats[7].online;
+        assert!(
+            online >= SimTime::from_secs(13) && online <= SimTime::from_secs(17),
+            "online {online}"
+        );
+        // The recovered V100 is too valuable to leave idle at 100 QPS.
+        assert!(outcome
+            .final_plan
+            .assignment(proteus_profiler::DeviceId(7))
+            .is_some());
+    }
+
+    #[test]
+    fn straggler_window_stretches_execution() {
+        let clean = run_proteus(100.0, 15).metrics.summary();
+        let slow = run_with_faults("slow@2-14:7x6.0; slow@2-14:8x6.0", 100.0, 15);
+        let ss = slow.metrics.summary();
+        assert_eq!(ss.total_arrived, ss.total_served + ss.total_dropped);
+        assert_eq!(slow.audit_violations, 0);
+        // 6x-slower V100s must leave a visible mark on the run.
+        assert_ne!(ss, clean, "stragglers changed nothing");
+    }
+
+    #[test]
+    fn load_failures_back_off_then_give_up() {
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        // Every load fails: after a crash forces re-placement, the affected
+        // devices burn their attempt budgets and give up.
+        config.faults = "crash@3:7; loadfail@1.0".parse().unwrap();
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut sink = proteus_trace::MemorySink::new();
+        let outcome = system.run_traced(&flat_arrivals(100.0, 15, 7), &mut sink);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert_eq!(outcome.audit_violations, 0);
+        let failed_loads = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LoadFailed { .. }))
+            .count();
+        assert!(failed_loads > 0, "p = 1.0 must fail every attempted load");
+        // Attempts are bounded: no device logs more than the budget per
+        // load, and the run still terminates.
+        let max_attempt = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::LoadFailed { attempt, .. } => Some(attempt),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_attempt <= 3, "attempt {max_attempt} exceeds budget");
+    }
+
+    #[test]
+    fn fault_free_schedule_matches_default_run() {
+        // An empty schedule is the identity: bit-identical outcomes.
+        let base = run_proteus(100.0, 10).metrics.summary();
+        let faultless = run_with_faults("", 100.0, 10);
+        assert_eq!(faultless.metrics.summary(), base);
     }
 
     #[test]

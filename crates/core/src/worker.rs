@@ -34,6 +34,9 @@ pub struct Worker {
     state: WorkerState,
     policy: Box<dyn BatchPolicy>,
     queue_cap: usize,
+    /// Liveness: a down worker accepts no queries, executes nothing and is
+    /// excluded from planning until it recovers.
+    up: bool,
     /// Pending batching timer, if any.
     pub timer: Option<EventKey>,
     /// Model-load delay to apply once the in-flight batch finishes.
@@ -54,6 +57,7 @@ impl Worker {
             state: WorkerState::Idle,
             policy,
             queue_cap,
+            up: true,
             timer: None,
             pending_load: None,
             load_generation: 0,
@@ -88,6 +92,17 @@ impl Worker {
     /// Whether the worker can start a batch right now.
     pub fn is_idle(&self) -> bool {
         self.state == WorkerState::Idle
+    }
+
+    /// Whether the device is alive (the liveness dimension is orthogonal
+    /// to [`WorkerState`]: a down device keeps no meaningful state).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Marks the device up or down.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
     }
 
     /// Number of queued queries.
@@ -197,9 +212,21 @@ mod tests {
     fn starts_idle_and_empty() {
         let w = worker(4);
         assert!(w.is_idle());
+        assert!(w.is_up());
         assert_eq!(w.queue_len(), 0);
         assert_eq!(w.variant(), None);
         assert_eq!(w.policy().name(), "proteus");
+    }
+
+    #[test]
+    fn liveness_toggles_independently_of_state() {
+        let mut w = worker(4);
+        w.set_state(WorkerState::Busy(SimTime::from_millis(10)));
+        w.set_up(false);
+        assert!(!w.is_up());
+        assert_eq!(w.state(), WorkerState::Busy(SimTime::from_millis(10)));
+        w.set_up(true);
+        assert!(w.is_up());
     }
 
     #[test]

@@ -195,6 +195,55 @@ fn load_window_delays_but_does_not_lose_queries() {
 }
 
 #[test]
+fn busy_worker_swap_charges_the_new_variants_load_delay() {
+    // Retargeting a Busy worker defers the swap to batch completion; the
+    // deferred load must charge the *new* variant's real transfer delay.
+    // (A regression here — e.g. a zero-length pending-load marker — would
+    // make mid-batch swaps free and every plan switch look cheaper than
+    // the paper's model-load accounting allows.)
+    let mut cfg = config();
+    cfg.load_base_secs = 3.0;
+    let mut system = ServingSystem::new(
+        cfg,
+        Box::new(ScriptedAllocator::new(vec![
+            plan_efficientnet(0),
+            plan_efficientnet(4),
+        ])),
+        Box::new(ProteusBatching),
+    );
+    // Overload (b0 peaks near 1000 QPS on the V100) keeps the worker
+    // executing back to back, so it is mid-batch (Busy) when the 4 s plan
+    // switch lands; at lower rates the non-work-conserving batcher idles
+    // between batches and the swap would not be deferred.
+    let arrivals = stream(1500.0, 8.0);
+    let mut sink = proteus_trace::MemorySink::new();
+    let outcome = system.run_traced(&arrivals, &mut sink);
+    let s = outcome.metrics.summary();
+    assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+    let (at, until) = sink
+        .events()
+        .iter()
+        .find_map(|e| match e.kind {
+            proteus_trace::EventKind::ModelLoadStarted { device, until, .. }
+                if device == DeviceId(1) && e.at >= SimTime::from_secs(4) =>
+            {
+                Some((e.at, until))
+            }
+            _ => None,
+        })
+        .expect("the 4 s plan switch must trigger a model load");
+    assert!(
+        at > SimTime::from_secs(4),
+        "swap must wait for the in-flight batch, got load start at {at}"
+    );
+    assert!(
+        until - at >= SimTime::from_secs(3),
+        "busy-worker swap must charge the real load delay, got {}",
+        until - at
+    );
+}
+
+#[test]
 fn scripted_plans_validate_against_environment() {
     // Sanity: the hand-written plans satisfy the structural validator.
     let cfg = config();
@@ -204,6 +253,7 @@ fn scripted_plans_validate_against_environment() {
         cluster: &cfg.cluster,
         zoo: &zoo,
         store: &store,
+        down: &[],
     };
     assert_eq!(plan_efficientnet(0).validate(&ctx), None);
     assert_eq!(plan_efficientnet(7).validate(&ctx), None);

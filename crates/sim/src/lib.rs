@@ -45,9 +45,11 @@
 #![forbid(unsafe_code)]
 
 mod event;
+mod fault;
 mod time;
 
 pub use event::{EventKey, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, ParseFaultError};
 pub use time::SimTime;
 
 /// A simulation participant: receives events in timestamp order.

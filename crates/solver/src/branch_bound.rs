@@ -68,7 +68,7 @@ impl std::ops::AddAssign for SolveStats {
     }
 }
 
-/// An exact MILP solver: LP relaxations via [`simplex`], depth-first branch
+/// An exact MILP solver: LP relaxations via [`crate::simplex`], depth-first branch
 /// & bound with most-fractional branching, best-bound pruning and
 /// warm-started node relaxations.
 ///

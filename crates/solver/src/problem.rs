@@ -287,6 +287,34 @@ impl LinearProgram {
         self.variables.iter().map(|v| (v.lower, v.upper)).collect()
     }
 
+    /// Pins a variable to a single value by collapsing both bounds onto it.
+    ///
+    /// This is the problem-level "mask" primitive: callers that must
+    /// exclude part of the search space (for example, devices that are
+    /// currently down) fix the corresponding variables instead of editing
+    /// constraint rows, so every row keeps its meaning for the auditor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this program or `value` is not
+    /// finite.
+    pub fn fix(&mut self, var: VarId, value: f64) {
+        assert!(value.is_finite(), "cannot fix {var} to {value}");
+        let v = &mut self.variables[var.0];
+        v.lower = value;
+        v.upper = value;
+    }
+
+    /// Pins a variable to zero — the common case of masking a device out
+    /// of an allocation problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this program.
+    pub fn fix_zero(&mut self, var: VarId) {
+        self.fix(var, 0.0);
+    }
+
     /// Evaluates the objective at `values`.
     ///
     /// # Panics
@@ -458,6 +486,31 @@ mod tests {
         let xa = a.add_continuous("y", 0.0, 1.0, 1.0);
         // xa has index 1, which does not exist in `b`.
         b.add_constraint(vec![(xa, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn fix_collapses_bounds_and_masks_the_variable() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
+        let y = lp.add_integer("y", 0.0, 5.0, 1.0);
+        lp.fix(x, 2.5);
+        lp.fix_zero(y);
+        assert_eq!(lp.bounds(x), (2.5, 2.5));
+        assert_eq!(lp.bounds(y), (0.0, 0.0));
+        assert!(lp.is_feasible(&[2.5, 0.0], 1e-9));
+        assert!(
+            !lp.is_feasible(&[2.5, 1.0], 1e-9),
+            "fixed-zero y must stay 0"
+        );
+        assert!(!lp.is_feasible(&[3.0, 0.0], 1e-9), "fixed x cannot move");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fix")]
+    fn fix_rejects_non_finite_values() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_continuous("x", 0.0, 10.0, 1.0);
+        lp.fix(x, f64::NAN);
     }
 
     #[test]

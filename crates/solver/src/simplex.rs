@@ -21,7 +21,7 @@
 //! an automatic switch to Bland's rule after an iteration threshold to
 //! guarantee termination on degenerate problems.
 //!
-//! The crate-internal [`Workspace`] additionally supports *warm restarts*:
+//! The crate-internal `Workspace` additionally supports *warm restarts*:
 //! after an optimal solve, the caller may change variable bounds and
 //! re-optimize with dual-simplex pivots from the previous basis instead of
 //! paying a cold two-phase solve. Branch & bound uses this to re-solve each

@@ -96,15 +96,19 @@ pub enum BlameCause {
     /// The system rejected the query outright (full queue, no host, or the
     /// end-of-run drain).
     Shed,
+    /// The query's device crashed and the salvage path could not place it
+    /// anywhere else within the retry budget.
+    DeviceFailure,
 }
 
 impl BlameCause {
     /// Every cause, in reporting order.
-    pub const ALL: [BlameCause; 4] = [
+    pub const ALL: [BlameCause; 5] = [
         BlameCause::Queueing,
         BlameCause::ModelLoad,
         BlameCause::BatchWait,
         BlameCause::Shed,
+        BlameCause::DeviceFailure,
     ];
 
     /// Stable label used in reports and tests.
@@ -114,6 +118,7 @@ impl BlameCause {
             BlameCause::ModelLoad => "model_load",
             BlameCause::BatchWait => "batch_wait",
             BlameCause::Shed => "shed",
+            BlameCause::DeviceFailure => "device_failure",
         }
     }
 }
@@ -157,8 +162,10 @@ impl BlameReport {
 /// Classifies every SLO violation in the trace into exactly one
 /// [`BlameCause`].
 ///
-/// Violations are `ServedLate` and `Dropped` terminals. Shed drops
-/// (`queue_full`, `no_host`, `drained`) are blamed on admission directly.
+/// Violations are `ServedLate` and `Dropped` terminals. Drops caused by a
+/// crashed device (`device_failed`) are blamed on the failure itself; the
+/// remaining shed drops (`queue_full`, `no_host`, `drained`) are blamed on
+/// admission directly.
 /// For the rest, the query's *wait window* — from its (last) `Enqueued` to
 /// the start of the batch that served it (late responses) or to the drop
 /// instant (expiries) — is decomposed against the worker's recorded
@@ -232,6 +239,17 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
                 (*query, end, false)
             }
             EventKind::Dropped { query, reason } => {
+                if *reason == crate::event::DropReason::DeviceFailed {
+                    report.verdicts.push(BlameVerdict {
+                        query: *query,
+                        at: e.at,
+                        cause: BlameCause::DeviceFailure,
+                        queueing: SimTime::ZERO,
+                        model_load: SimTime::ZERO,
+                        batch_wait: SimTime::ZERO,
+                    });
+                    continue;
+                }
                 if reason.is_shed() {
                     report.verdicts.push(BlameVerdict {
                         query: *query,
@@ -612,11 +630,19 @@ mod tests {
                     reason: DropReason::Drained,
                 },
             ),
+            ev(
+                950,
+                EventKind::Dropped {
+                    query: 5,
+                    reason: DropReason::DeviceFailed,
+                },
+            ),
         ];
         let report = blame(&events);
-        assert_eq!(report.total(), 4);
+        assert_eq!(report.total(), 5);
         assert_eq!(report.count(BlameCause::Shed), 3);
         assert_eq!(report.count(BlameCause::Queueing), 1);
+        assert_eq!(report.count(BlameCause::DeviceFailure), 1);
         let q3 = report.verdicts.iter().find(|v| v.query == 3).unwrap();
         assert_eq!(q3.queueing, t(300));
     }

@@ -15,15 +15,19 @@ pub enum DropReason {
     Expired,
     /// Still queued when the run's drain window closed.
     Drained,
+    /// Its device crashed and the salvage path exhausted the retry budget
+    /// (or found nowhere else to send it).
+    DeviceFailed,
 }
 
 impl DropReason {
     /// Every reason, in serialization order.
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 5] = [
         DropReason::QueueFull,
         DropReason::NoHost,
         DropReason::Expired,
         DropReason::Drained,
+        DropReason::DeviceFailed,
     ];
 
     /// Stable wire label.
@@ -33,6 +37,7 @@ impl DropReason {
             DropReason::NoHost => "no_host",
             DropReason::Expired => "expired",
             DropReason::Drained => "drained",
+            DropReason::DeviceFailed => "device_failed",
         }
     }
 
@@ -62,16 +67,20 @@ pub enum ReplanCause {
     CriticalPath,
     /// Elastic devices came online (§7 tandem extension).
     Provisioned,
+    /// A device crashed (or recovered): the plan must route around the
+    /// changed liveness set immediately.
+    DeviceFailure,
 }
 
 impl ReplanCause {
     /// Every cause, in serialization order.
-    pub const ALL: [ReplanCause; 5] = [
+    pub const ALL: [ReplanCause; 6] = [
         ReplanCause::Initial,
         ReplanCause::Periodic,
         ReplanCause::Burst,
         ReplanCause::CriticalPath,
         ReplanCause::Provisioned,
+        ReplanCause::DeviceFailure,
     ];
 
     /// Stable wire label.
@@ -82,6 +91,7 @@ impl ReplanCause {
             ReplanCause::Burst => "burst",
             ReplanCause::CriticalPath => "critical_path",
             ReplanCause::Provisioned => "provisioned",
+            ReplanCause::DeviceFailure => "device_failure",
         }
     }
 
@@ -241,6 +251,49 @@ pub enum EventKind {
         /// Families whose routing/coverage was verified.
         families_checked: u32,
     },
+    /// A device crashed: its in-flight batch is lost and its queue enters
+    /// the salvage path.
+    WorkerCrashed {
+        /// The crashed worker.
+        device: DeviceId,
+    },
+    /// A crashed device came back, empty and serviceable.
+    WorkerRecovered {
+        /// The recovered worker.
+        device: DeviceId,
+    },
+    /// A salvaged query was re-routed away from a crashed device.
+    QueryRetried {
+        /// The query.
+        query: u64,
+        /// The device it was salvaged from.
+        from: DeviceId,
+        /// 1-based retry attempt (bounded by the engine's retry budget).
+        attempt: u32,
+    },
+    /// A model load failed and will be retried with capped backoff (or
+    /// abandoned once the attempt budget is spent).
+    LoadFailed {
+        /// The loading worker.
+        device: DeviceId,
+        /// The variant whose load failed (`None` = unload).
+        variant: Option<VariantId>,
+        /// 1-based failed attempt count for this load.
+        attempt: u32,
+    },
+    /// The device entered a straggler window: batches run `slowdown`×
+    /// slower until the matching [`EventKind::StragglerEnded`].
+    StragglerStarted {
+        /// The slowed worker.
+        device: DeviceId,
+        /// Latency multiplier (`>= 1.0`).
+        slowdown: f64,
+    },
+    /// The device's execution latency returned to normal.
+    StragglerEnded {
+        /// The worker.
+        device: DeviceId,
+    },
 }
 
 impl EventKind {
@@ -263,6 +316,12 @@ impl EventKind {
             EventKind::PlanApplied { .. } => "plan_applied",
             EventKind::SolveStats { .. } => "solve_stats",
             EventKind::AuditReport { .. } => "audit_report",
+            EventKind::WorkerCrashed { .. } => "worker_crashed",
+            EventKind::WorkerRecovered { .. } => "worker_recovered",
+            EventKind::QueryRetried { .. } => "query_retried",
+            EventKind::LoadFailed { .. } => "load_failed",
+            EventKind::StragglerStarted { .. } => "straggler_started",
+            EventKind::StragglerEnded { .. } => "straggler_ended",
         }
     }
 
@@ -275,6 +334,7 @@ impl EventKind {
             | EventKind::Enqueued { query, .. }
             | EventKind::ServedOnTime { query, .. }
             | EventKind::ServedLate { query, .. }
+            | EventKind::QueryRetried { query, .. }
             | EventKind::Dropped { query, .. } => Some(query),
             _ => None,
         }
@@ -312,6 +372,7 @@ mod tests {
         assert!(DropReason::QueueFull.is_shed());
         assert!(DropReason::NoHost.is_shed());
         assert!(DropReason::Drained.is_shed());
+        assert!(DropReason::DeviceFailed.is_shed());
         assert!(!DropReason::Expired.is_shed());
     }
 

@@ -127,6 +127,40 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
                 ",\"violations\":{violations},\"devices\":{devices_checked},\"families\":{families_checked}"
             );
         }
+        EventKind::WorkerCrashed { device } | EventKind::WorkerRecovered { device } => {
+            let _ = write!(s, ",\"d\":{}", device.0);
+        }
+        EventKind::QueryRetried {
+            query,
+            from,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"q\":{query},\"from\":{},\"attempt\":{attempt}",
+                from.0
+            );
+        }
+        EventKind::LoadFailed {
+            device,
+            variant,
+            attempt,
+        } => {
+            let _ = write!(s, ",\"d\":{},\"variant\":", device.0);
+            match variant {
+                Some(v) => {
+                    let _ = write!(s, "\"{v}\"");
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(s, ",\"attempt\":{attempt}");
+        }
+        EventKind::StragglerStarted { device, slowdown } => {
+            let _ = write!(s, ",\"d\":{},\"slowdown\":{slowdown}", device.0);
+        }
+        EventKind::StragglerEnded { device } => {
+            let _ = write!(s, ",\"d\":{}", device.0);
+        }
     }
     s.push('}');
     s
@@ -319,6 +353,32 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
             devices_checked: int("devices")? as u32,
             families_checked: int("families")? as u32,
         },
+        "worker_crashed" => EventKind::WorkerCrashed { device: device()? },
+        "worker_recovered" => EventKind::WorkerRecovered { device: device()? },
+        "query_retried" => EventKind::QueryRetried {
+            query: int("q")?,
+            from: DeviceId(int("from")? as u32),
+            attempt: int("attempt")? as u32,
+        },
+        "load_failed" => EventKind::LoadFailed {
+            device: device()?,
+            variant: match get("variant")? {
+                Val::Null => None,
+                Val::Str(_) => Some(variant("variant")?),
+                other => {
+                    return Err(ParseEventError {
+                        line: 0,
+                        reason: format!("`variant` is not a string or null: {other:?}"),
+                    })
+                }
+            },
+            attempt: int("attempt")? as u32,
+        },
+        "straggler_started" => EventKind::StragglerStarted {
+            device: device()?,
+            slowdown: float("slowdown")?,
+        },
+        "straggler_ended" => EventKind::StragglerEnded { device: device()? },
         other => {
             return Err(ParseEventError {
                 line: 0,
@@ -605,6 +665,38 @@ mod tests {
                 violations: 0,
                 devices_checked: 9,
                 families_checked: 9,
+            },
+            EventKind::WorkerCrashed {
+                device: DeviceId(3),
+            },
+            EventKind::WorkerRecovered {
+                device: DeviceId(3),
+            },
+            EventKind::QueryRetried {
+                query: 17,
+                from: DeviceId(3),
+                attempt: 2,
+            },
+            EventKind::LoadFailed {
+                device: DeviceId(3),
+                variant: Some(v),
+                attempt: 1,
+            },
+            EventKind::LoadFailed {
+                device: DeviceId(3),
+                variant: None,
+                attempt: 3,
+            },
+            EventKind::StragglerStarted {
+                device: DeviceId(3),
+                slowdown: 2.5,
+            },
+            EventKind::StragglerEnded {
+                device: DeviceId(3),
+            },
+            EventKind::Dropped {
+                query: 14,
+                reason: DropReason::DeviceFailed,
             },
         ];
         kinds

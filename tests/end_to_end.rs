@@ -225,6 +225,7 @@ fn diurnal_run_on_paper_testbed_is_sane() {
         cluster: &cluster,
         zoo: &zoo,
         store: &store,
+        down: &[],
     };
     assert_eq!(outcome.final_plan.validate(&ctx), None);
 }

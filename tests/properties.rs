@@ -34,7 +34,7 @@ proptest! {
         d_mob in 0.0f64..800.0,
     ) {
         let (cluster, zoo, store) = env();
-        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store };
+        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store, down: &[] };
         let mut demand = FamilyMap::default();
         demand[ModelFamily::EfficientNet] = d_eff;
         demand[ModelFamily::ResNet] = d_res;
@@ -79,7 +79,7 @@ proptest! {
         d_t5 in 0.0f64..40.0,
     ) {
         let (cluster, zoo, store) = env();
-        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store };
+        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store, down: &[] };
         let mut demand = FamilyMap::default();
         demand[ModelFamily::EfficientNet] = d_eff;
         demand[ModelFamily::T5] = d_t5;
@@ -135,7 +135,7 @@ proptest! {
         use proteus::profiler::{DeviceType, VariantId};
 
         let (cluster, zoo, store) = env();
-        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store };
+        let ctx = AllocContext { cluster: &cluster, zoo: &zoo, store: &store, down: &[] };
         let mut demand = FamilyMap::default();
         demand[ModelFamily::EfficientNet] = d_eff;
         demand[ModelFamily::ResNet] = d_res;

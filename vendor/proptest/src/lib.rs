@@ -7,7 +7,7 @@
 //!
 //! - numeric [`std::ops::Range`] strategies (`0u64..100`, `0.5f64..4.0`),
 //! - tuple strategies up to arity 6,
-//! - [`Strategy::prop_map`], [`prop_oneof!`], `prop::collection::vec`,
+//! - [`strategy::Strategy::prop_map`], [`prop_oneof!`], `prop::collection::vec`,
 //!   [`arbitrary::any`]`::<bool>()`,
 //! - the [`proptest!`] macro with `#![proptest_config(...)]`,
 //!   [`prop_assert!`] and [`prop_assert_eq!`].
@@ -320,7 +320,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -529,7 +529,7 @@ mod tests {
             ],
         ) {
             prop_assert!((0.0..10.0).contains(&pair));
-            prop_assert!(coin || !coin);
+            prop_assert!(u8::from(coin) <= 1);
             let (t, f, low) = either;
             if low {
                 prop_assert!(t < 10 && f < 3);

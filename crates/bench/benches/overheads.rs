@@ -53,6 +53,7 @@ fn batching_decision(c: &mut Criterion) {
                 now: SimTime::from_millis(5),
                 queue: black_box(&queue),
                 profile,
+                lat_table: &[],
             };
             black_box(policy.decide(&ctx))
         })

@@ -1,0 +1,54 @@
+//! End-to-end serving-loop throughput: the full Proteus system (allocator,
+//! router, batching, metrics, event queue) replaying a fig4-shaped diurnal
+//! trace. This is the hot path DESIGN.md's "Hot path & performance" section
+//! describes; the machine-readable companion is `bench_sim_json`
+//! (`BENCH_sim.json`), which runs the million-query headline instance and
+//! records the run fingerprint for cross-commit comparison. The criterion
+//! harness here uses reduced traces so statistical sampling stays practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proteus_core::batching::ProteusBatching;
+use proteus_core::schedulers::ProteusAllocator;
+use proteus_core::system::{ServingSystem, SystemConfig};
+use proteus_workloads::{DiurnalTrace, QueryArrival, TraceBuilder};
+
+/// A fig4-shaped trace truncated to exactly `queries` arrivals (same
+/// construction as `bench_sim_json`).
+fn trace(queries: usize) -> Vec<QueryArrival> {
+    let secs = ((queries as f64 / 550.0) * 1.25).ceil().max(60.0) as u32;
+    let curve = DiurnalTrace::paper_like(secs, 200.0, 1000.0, 42);
+    let mut arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(42)
+        .build(&curve);
+    assert!(arrivals.len() >= queries);
+    arrivals.truncate(queries);
+    arrivals
+}
+
+fn serving_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_loop");
+    group.sample_size(10);
+    for queries in [10_000usize, 60_000] {
+        let arrivals = trace(queries);
+        group.bench_with_input(
+            BenchmarkId::new("fig4_diurnal", queries),
+            &arrivals,
+            |b, arrivals| {
+                b.iter(|| {
+                    let mut system = ServingSystem::new(
+                        SystemConfig::paper_testbed(),
+                        Box::new(ProteusAllocator::default()),
+                        Box::new(ProteusBatching),
+                    );
+                    black_box(system.run(black_box(arrivals)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving_loop);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ impl BatchPolicy for CostOblivious {
             now: ctx.now,
             queue: &nominal,
             profile: ctx.profile,
+            lat_table: &[],
         };
         self.inner.decide(&blind)
     }

@@ -150,6 +150,7 @@ mod tests {
             now,
             queue: q,
             profile: p,
+            lat_table: &[],
         }
     }
 

@@ -43,6 +43,15 @@ pub struct BatchContext<'a> {
     pub queue: &'a [Query],
     /// Performance profile of the variant currently loaded on this device.
     pub profile: &'a Profile,
+    /// Optional precomputed latencies: `lat_table[k]` is exactly
+    /// `SimTime::from_millis_f64(profile.latency_for_cost(k as f64))` for
+    /// integral total costs. The serving engine rebuilds it whenever a plan
+    /// retargets the device; an empty slice (the default everywhere else)
+    /// means every lookup takes the arithmetic path. Unit-cost batches —
+    /// the common case — sum to exact integers, so the table hit returns a
+    /// bit-identical result while skipping the float round-trip on the
+    /// per-event hot path.
+    pub lat_table: &'a [SimTime],
 }
 
 impl BatchContext<'_> {
@@ -55,6 +64,15 @@ impl BatchContext<'_> {
     /// Batch execution latency for a batch totalling `total_cost` input
     /// units (§7 "Varying Input Sizes").
     pub fn latency_for_cost(&self, total_cost: f64) -> SimTime {
+        // Integral costs resolve through the precomputed table; comparing
+        // bit patterns sidesteps float equality while guaranteeing the
+        // table entry was built from this exact cost.
+        let k = total_cost as usize;
+        if let Some(&t) = self.lat_table.get(k) {
+            if (k as f64).to_bits() == total_cost.to_bits() {
+                return t;
+            }
+        }
         SimTime::from_millis_f64(self.profile.latency_for_cost(total_cost.max(1e-9)))
     }
 
@@ -207,6 +225,7 @@ mod tests {
             now: SimTime::ZERO,
             queue: &[],
             profile: &p,
+            lat_table: &[],
         };
         let l = ctx.latency(4);
         assert!((l.as_millis_f64() - p.latency(4)).abs() < 1e-9);
@@ -223,6 +242,7 @@ mod tests {
             now: late,
             queue: &q,
             profile: &p,
+            lat_table: &[],
         };
         assert_eq!(ctx.unservable_prefix(), 3);
         // At time zero nothing is unservable.
@@ -230,6 +250,7 @@ mod tests {
             now: SimTime::ZERO,
             queue: &q,
             profile: &p,
+            lat_table: &[],
         };
         assert_eq!(ctx.unservable_prefix(), 0);
     }
@@ -242,6 +263,7 @@ mod tests {
             now: SimTime::ZERO,
             queue: &q,
             profile: &p,
+            lat_table: &[],
         };
         assert_eq!(ctx.batch_cost(4), 4.0);
         assert_eq!(ctx.mean_cost(), 1.0);
@@ -257,11 +279,13 @@ mod tests {
             now: SimTime::ZERO,
             queue: &unit,
             profile: &p,
+            lat_table: &[],
         };
         let ctx_heavy = BatchContext {
             now: SimTime::ZERO,
             queue: &heavy,
             profile: &p,
+            lat_table: &[],
         };
         let safe_unit = ctx_unit.largest_safe_batch(u32::MAX);
         let safe_heavy = ctx_heavy.largest_safe_batch(u32::MAX);
@@ -284,6 +308,7 @@ mod tests {
             now: SimTime::ZERO,
             queue: &q,
             profile: &p,
+            lat_table: &[],
         };
         let k = ctx.largest_safe_batch(u32::MAX);
         assert!(k >= 1);
@@ -296,6 +321,7 @@ mod tests {
             now: SimTime::ZERO,
             queue: &[],
             profile: &p,
+            lat_table: &[],
         };
         assert_eq!(ctx.largest_safe_batch(8), 0);
     }

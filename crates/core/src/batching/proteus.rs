@@ -68,8 +68,10 @@ impl BatchPolicy for ProteusBatching {
         }
 
         // q == safe < max_batch: consider waiting for query q+1, whose cost
-        // is estimated by the queue's mean (§7 input-size awareness).
-        let t_process_next = ctx.latency_for_cost(ctx.batch_cost(q as usize) + ctx.mean_cost());
+        // is estimated by the queue's mean (§7 input-size awareness). One
+        // scan: the whole-queue cost also yields the mean.
+        let total_cost = ctx.batch_cost(q as usize);
+        let t_process_next = ctx.latency_for_cost(total_cost + total_cost / q as f64);
         let first_deadline = ctx.queue[0].deadline;
         if first_deadline < t_process_next {
             // Even starting at time zero a (q+1)-batch would be too slow;
@@ -107,6 +109,7 @@ mod tests {
             now,
             queue: q,
             profile: p,
+            lat_table: &[],
         }
     }
 

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use proteus_metrics::MetricsCollector;
-use proteus_profiler::{Cluster, ModelZoo, ProfileStore, SloPolicy, VariantId};
+use proteus_profiler::{Cluster, ModelZoo, Profile, ProfileStore, SloPolicy, VariantId};
 use proteus_sim::{Actor, EventKey, FaultKind, FaultSchedule, SimTime, Simulation};
 use proteus_solver::SolveStats;
 use proteus_trace::{DropReason, EventKind, NullSink, TraceEvent, TraceSink};
@@ -205,6 +205,24 @@ pub struct RunOutcome {
     /// Total constraint violations across plan audits and end-of-run DES
     /// invariant checks. Always 0 for a correct solver and simulator.
     pub audit_violations: u32,
+    /// Hot-path execution counters (event volume, queue high-water mark,
+    /// allocation reuse). Purely observational: none of these feed back
+    /// into serving decisions.
+    pub hot_stats: HotPathStats,
+}
+
+/// Observational counters from the serving loop's hot path, reported by
+/// `bench_sim_json` and the perf-smoke CI job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Events the DES kernel delivered over the run.
+    pub events_delivered: u64,
+    /// High-water mark of pending (live) events in the kernel queue.
+    pub peak_event_queue: u64,
+    /// Batch buffers taken from the reuse pool instead of allocated.
+    pub batch_buffers_reused: u64,
+    /// Batch buffers that had to be freshly allocated.
+    pub batch_buffers_allocated: u64,
 }
 
 /// One Resource Manager invocation: what triggered it and what it cost.
@@ -282,11 +300,14 @@ pub struct ServingSystem {
 enum Event {
     NextArrival(usize),
     WorkerTimer(u32),
+    /// A batch finished executing. The batch's queries are not carried in
+    /// the event: the per-device [`InFlight`] shadow owns them, so the
+    /// event stays small (cheap heap traffic) and forming a batch costs no
+    /// clone.
     BatchDone {
         device: u32,
         batch: u64,
         accuracy: f64,
-        queries: Vec<Query>,
     },
     LoadDone {
         device: u32,
@@ -378,6 +399,9 @@ impl ServingSystem {
                 .iter()
                 .map(|&spec| Worker::new(spec, self.batching.clone_box(), self.config.queue_cap))
                 .collect(),
+            profiles: vec![None; n],
+            lat_tables: vec![Vec::new(); n],
+            slo_by_family: FamilyMap::from_fn(|f| SimTime::from_millis_f64(self.store.slo_ms(f))),
             routers: Router::from_plan(&AllocationPlan::empty(cluster.len())),
             plan: AllocationPlan::empty(cluster.len()),
             cluster,
@@ -411,6 +435,10 @@ impl ServingSystem {
             trace,
             trace_on,
             next_batch: 0,
+            batch_pool: Vec::new(),
+            scratch: Vec::new(),
+            pool_reused: 0,
+            pool_alloc: 0,
             replan_log: Vec::new(),
             plan_audits: 0,
             audit_violations: 0,
@@ -498,6 +526,12 @@ impl ServingSystem {
             final_plan: engine.plan,
             plan_audits: engine.plan_audits,
             audit_violations: engine.audit_violations,
+            hot_stats: HotPathStats {
+                events_delivered: sim.delivered(),
+                peak_event_queue: sim.peak_pending() as u64,
+                batch_buffers_reused: engine.pool_reused,
+                batch_buffers_allocated: engine.pool_alloc,
+            },
         }
     }
 }
@@ -545,6 +579,17 @@ struct Engine<'a> {
     /// The (possibly growing, with the §7 tandem extension) cluster.
     cluster: Cluster,
     workers: Vec<Worker>,
+    /// Per-device profile of the loaded variant, refreshed whenever the
+    /// variant changes — the batching path reads this instead of hashing
+    /// `(variant, device type)` into the store on every decision.
+    profiles: Vec<Option<&'a Profile>>,
+    /// Per-device precomputed latency table for integral batch costs,
+    /// rebuilt alongside [`profiles`](Self::profiles) — see
+    /// [`BatchContext::lat_table`](crate::batching::BatchContext::lat_table).
+    lat_tables: Vec<Vec<SimTime>>,
+    /// Per-family SLO spans, precomputed once so the arrival path does no
+    /// store lookup or float conversion per query.
+    slo_by_family: FamilyMap<SimTime>,
     routers: Vec<Router>,
     plan: AllocationPlan,
     metrics: MetricsCollector,
@@ -587,6 +632,15 @@ struct Engine<'a> {
     trace_on: bool,
     /// Run-unique batch id counter.
     next_batch: u64,
+    /// Reuse pool of batch buffers: a completed batch's `Vec<Query>` is
+    /// cleared and parked here instead of freed, and the next batch takes
+    /// one back instead of allocating.
+    batch_pool: Vec<Vec<Query>>,
+    /// Scratch buffer for expired-query drops (reused across events).
+    scratch: Vec<Query>,
+    /// Batch buffers served from the pool / freshly allocated.
+    pool_reused: u64,
+    pool_alloc: u64,
     replan_log: Vec<ReplanRecord>,
     /// Times the independent plan auditor ran.
     plan_audits: u32,
@@ -657,13 +711,13 @@ impl Engine<'_> {
         }
         // Pre-loaded: apply without load delays.
         let mut changed = 0u32;
-        for (i, worker) in self.workers.iter_mut().enumerate() {
+        for i in 0..self.workers.len() {
             let assignment = plan.assignment(proteus_profiler::DeviceId(i as u32));
             if assignment.is_some() {
                 changed += 1;
             }
-            worker.set_variant(assignment);
-            worker.set_state(WorkerState::Idle);
+            self.set_worker_variant(i, assignment);
+            self.workers[i].set_state(WorkerState::Idle);
         }
         self.routers = Router::from_plan(&plan);
         let shrink = plan.shrink();
@@ -761,9 +815,43 @@ impl Engine<'_> {
         }
     }
 
+    /// Retargets a worker and refreshes its cached profile pointer — the
+    /// only place a worker's variant may change, so the cache can never go
+    /// stale.
+    fn set_worker_variant(&mut self, device: usize, variant: Option<VariantId>) {
+        self.workers[device].set_variant(variant);
+        self.profiles[device] = variant.and_then(|v| {
+            self.store
+                .profile(v, self.workers[device].spec().device_type)
+        });
+        // Tabulate batch latencies at every integral cost the policy can
+        // ask about: sums up to max_batch queries plus one estimated next
+        // arrival. Entry k is bit-identical to the arithmetic path's answer
+        // for a unit-cost batch totalling k.
+        self.lat_tables[device] = match self.profiles[device] {
+            Some(p) => (0..=p.max_batch() as usize + 1)
+                .map(|k| SimTime::from_millis_f64(p.latency_for_cost((k as f64).max(1e-9))))
+                .collect(),
+            None => Vec::new(),
+        };
+    }
+
+    /// Takes a batch buffer from the reuse pool (or allocates one).
+    fn take_buffer(&mut self) -> Vec<Query> {
+        match self.batch_pool.pop() {
+            Some(buf) => {
+                self.pool_reused += 1;
+                buf
+            }
+            None => {
+                self.pool_alloc += 1;
+                Vec::new()
+            }
+        }
+    }
+
     /// Re-evaluates batching on an idle worker.
     fn poke(&mut self, device: usize, now: SimTime, sim: &mut Simulation<Event>) {
-        let store = self.store;
         loop {
             let worker = &mut self.workers[device];
             // A down device executes nothing; its queue was salvaged at
@@ -787,26 +875,31 @@ impl Engine<'_> {
                 }
                 return;
             };
-            let device_type = worker.spec().device_type;
-            let profile = store
-                .profile(variant, device_type)
-                // lint:allow(no-panic) — ProfileStore::build profiles every
-                // (variant, device type) pair; a miss is a construction bug.
+            let profile = self.profiles[device]
+                // lint:allow(no-panic) — the cache is refreshed by
+                // set_worker_variant at every retarget, and ProfileStore::build
+                // profiles every (variant, device type) pair; a miss with a
+                // hosted variant is a construction bug.
                 .expect("every (variant, device type) pair is profiled");
-            match self.workers[device].decide(now, profile) {
+            match self.workers[device].decide(now, profile, &self.lat_tables[device]) {
                 BatchDecision::Idle => {
                     self.cancel_timer(device, sim);
                     return;
                 }
                 BatchDecision::DropExpired(n) => {
-                    let dropped = self.workers[device].take_front(n);
-                    for q in dropped {
+                    // Reuse one scratch buffer for the whole run instead of
+                    // allocating a fresh Vec per expiry sweep.
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.workers[device].take_front_into(n, &mut scratch);
+                    for q in scratch.drain(..) {
                         self.drop_query(now, &q, DropReason::Expired);
                     }
+                    self.scratch = scratch;
                 }
                 BatchDecision::Execute(k) => {
                     let k = k.max(1).min(self.workers[device].queue_len() as u32);
-                    let batch = self.workers[device].take_front(k as usize);
+                    let mut batch = self.take_buffer();
+                    self.workers[device].take_front_into(k as usize, &mut batch);
                     let total_cost: f64 = batch.iter().map(|q| q.cost).sum();
                     // A straggler window stretches execution latency.
                     let nominal = profile.latency_for_cost(total_cost) * self.slowdown[device];
@@ -846,7 +939,6 @@ impl Engine<'_> {
                             device: device as u32,
                             batch: batch_id,
                             accuracy: profile.accuracy(),
-                            queries: batch.clone(),
                         },
                     );
                     // Shadow the batch so a crash can salvage it.
@@ -959,7 +1051,7 @@ impl Engine<'_> {
             if family_changed {
                 displaced.extend(self.workers[i].drain_queue());
             }
-            self.workers[i].set_variant(new);
+            self.set_worker_variant(i, new);
             self.load_attempts[i] = 0;
             match self.workers[i].state() {
                 WorkerState::Busy(_) => {
@@ -1153,7 +1245,7 @@ impl Engine<'_> {
                     salvage.extend(inflight.queries);
                 }
                 salvage.extend(self.workers[d].drain_queue());
-                self.workers[d].set_variant(None);
+                self.set_worker_variant(d, None);
                 self.workers[d].set_state(WorkerState::Idle);
                 self.redispatch(now, id, salvage, sim);
                 // The controller replans immediately around the failure.
@@ -1167,7 +1259,7 @@ impl Engine<'_> {
                 }
                 self.workers[d].set_up(true);
                 // Back empty: no model survives a crash.
-                self.workers[d].set_variant(None);
+                self.set_worker_variant(d, None);
                 self.workers[d].set_state(WorkerState::Idle);
                 self.load_attempts[d] = 0;
                 self.online_since[d] = Some(now);
@@ -1275,7 +1367,7 @@ impl Actor for Engine<'_> {
                 let arrival = self.arrivals[i];
                 self.metrics.record_arrival(now, arrival.family);
                 self.estimator.record(arrival.family);
-                let slo = SimTime::from_millis_f64(self.store.slo_ms(arrival.family));
+                let slo = self.slo_by_family[arrival.family];
                 let query =
                     Query::new(QueryId(i as u64), arrival.family, now, slo).with_cost(arrival.cost);
                 if self.trace_on {
@@ -1332,16 +1424,20 @@ impl Actor for Engine<'_> {
                 device,
                 batch,
                 accuracy,
-                queries,
             } => {
                 let d = device as usize;
                 // A crash cancels the completion event and rolls the batch
                 // back; if the cancel raced with an already-popped event,
-                // the shadow's id mismatch rejects the stale completion.
-                if self.inflight[d].as_ref().map(|f| f.batch) != Some(batch) {
-                    return;
-                }
-                self.inflight[d] = None;
+                // the shadow's id mismatch rejects the stale completion. The
+                // shadow owns the batch's queries — the event itself carries
+                // none, so scheduling a batch allocates nothing.
+                let fl = match self.inflight[d].take() {
+                    Some(f) if f.batch == batch => f,
+                    other => {
+                        self.inflight[d] = other;
+                        return;
+                    }
+                };
                 if self.trace_on {
                     self.emit(
                         now,
@@ -1352,7 +1448,7 @@ impl Actor for Engine<'_> {
                     );
                 }
                 let mut any_late = false;
-                for q in &queries {
+                for q in &fl.queries {
                     let on_time = now <= q.deadline;
                     any_late |= !on_time;
                     let latency = now.saturating_sub(q.arrived);
@@ -1373,6 +1469,10 @@ impl Actor for Engine<'_> {
                         self.emit(now, kind);
                     }
                 }
+                // Recycle the batch buffer for the next Execute decision.
+                let mut queries = fl.queries;
+                queries.clear();
+                self.batch_pool.push(queries);
                 self.workers[d].policy_mut().on_batch_complete(any_late);
                 self.workers[d].set_state(WorkerState::Idle);
                 if let Some(delay) = self.workers[d].pending_load.take() {
@@ -1412,7 +1512,7 @@ impl Actor for Engine<'_> {
                     if attempt >= MAX_LOAD_ATTEMPTS {
                         // Give up: the device hosts nothing; queries that
                         // piled up behind the load have no host here.
-                        self.workers[d].set_variant(None);
+                        self.set_worker_variant(d, None);
                         self.workers[d].set_state(WorkerState::Idle);
                         let orphans = self.workers[d].drain_queue();
                         for q in orphans {
@@ -1490,6 +1590,8 @@ impl Actor for Engine<'_> {
                     self.config.queue_cap,
                 ));
                 self.device_stats.push(DeviceStats::default());
+                self.profiles.push(None);
+                self.lat_tables.push(Vec::new());
                 self.inflight.push(None);
                 self.slowdown.push(1.0);
                 self.online_since.push(Some(now));

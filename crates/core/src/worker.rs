@@ -148,24 +148,46 @@ impl Worker {
         self.queue.drain(..n).collect()
     }
 
+    /// Removes the first `n` queued queries into `out`, reusing its
+    /// capacity (`out` is cleared first). The allocation-free twin of
+    /// [`take_front`](Self::take_front) for the per-event hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` queries are queued.
+    pub fn take_front_into(&mut self, n: usize, out: &mut Vec<Query>) {
+        assert!(
+            n <= self.queue.len(),
+            "cannot take {n} of {}",
+            self.queue.len()
+        );
+        out.clear();
+        out.extend(self.queue.drain(..n));
+    }
+
     /// Removes and returns every queued query (used when a plan retargets
     /// the worker to a different family).
     pub fn drain_queue(&mut self) -> Vec<Query> {
         self.queue.drain(..).collect()
     }
 
-    /// Asks the batching policy what to do next, given the current time and
-    /// the profile of the loaded variant.
+    /// Asks the batching policy what to do next, given the current time,
+    /// the profile of the loaded variant and its precomputed integral-cost
+    /// latency table (may be empty; see [`BatchContext::lat_table`]).
+    ///
+    /// [`BatchContext::lat_table`]: crate::batching::BatchContext::lat_table
     pub fn decide(
         &mut self,
         now: SimTime,
         profile: &proteus_profiler::Profile,
+        lat_table: &[SimTime],
     ) -> crate::batching::BatchDecision {
         let queue: &[Query] = self.queue.make_contiguous();
         let ctx = crate::batching::BatchContext {
             now,
             queue,
             profile,
+            lat_table,
         };
         self.policy.decide(&ctx)
     }

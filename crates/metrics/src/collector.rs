@@ -1,7 +1,5 @@
 //! Event ingestion and interval bucketing.
 
-use std::collections::HashMap;
-
 use proteus_profiler::ModelFamily;
 use proteus_sim::SimTime;
 
@@ -52,10 +50,21 @@ impl Bucket {
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
     interval: SimTime,
-    cells: HashMap<(u64, ModelFamily), Bucket>,
+    /// Dense rows, one per interval, each a family-indexed array. The
+    /// simulation records millions of events; direct indexing here replaces
+    /// a hash lookup per query event (see DESIGN.md, "Hot path").
+    cells: Vec<[Bucket; ModelFamily::COUNT]>,
     latency: crate::LatencyHistogram,
-    latency_by_family: HashMap<ModelFamily, crate::LatencyHistogram>,
+    /// Family-indexed; a family with zero recorded latencies is reported
+    /// as absent (matching the sparse-map behaviour this replaced).
+    latency_by_family: Vec<crate::LatencyHistogram>,
     end: SimTime,
+    /// Row cache: events arrive in near-sorted time order, so consecutive
+    /// records almost always land in the same interval. Caching the current
+    /// row's half-open nanosecond span skips a `u64` division per event.
+    /// `cached_span.0 > cached_span.1` encodes "no row cached".
+    cached_span: (u64, u64),
+    cached_idx: usize,
 }
 
 impl MetricsCollector {
@@ -68,10 +77,14 @@ impl MetricsCollector {
         assert!(interval > SimTime::ZERO, "bucket interval must be positive");
         Self {
             interval,
-            cells: HashMap::new(),
+            cells: Vec::new(),
             latency: crate::LatencyHistogram::new(),
-            latency_by_family: HashMap::new(),
+            latency_by_family: (0..ModelFamily::COUNT)
+                .map(|_| crate::LatencyHistogram::new())
+                .collect(),
             end: SimTime::ZERO,
+            cached_span: (1, 0),
+            cached_idx: 0,
         }
     }
 
@@ -86,8 +99,19 @@ impl MetricsCollector {
 
     fn cell(&mut self, at: SimTime, family: ModelFamily) -> &mut Bucket {
         self.end = self.end.max(at);
-        let idx = self.bucket_index(at);
-        self.cells.entry((idx, family)).or_default()
+        let nanos = at.as_nanos();
+        if nanos < self.cached_span.0 || nanos >= self.cached_span.1 {
+            let idx = self.bucket_index(at) as usize;
+            if idx >= self.cells.len() {
+                self.cells
+                    .resize_with(idx + 1, || [Bucket::default(); ModelFamily::COUNT]);
+            }
+            let width = self.interval.as_nanos();
+            let start = idx as u64 * width;
+            self.cached_span = (start, start + width);
+            self.cached_idx = idx;
+        }
+        &mut self.cells[self.cached_idx][family.index()]
     }
 
     /// Records a query arrival.
@@ -126,10 +150,7 @@ impl MetricsCollector {
     ) {
         self.record_served(at, family, accuracy, on_time);
         self.latency.record(latency);
-        self.latency_by_family
-            .entry(family)
-            .or_default()
-            .record(latency);
+        self.latency_by_family[family.index()].record(latency);
     }
 
     /// The aggregate response-latency histogram (populated by
@@ -141,7 +162,8 @@ impl MetricsCollector {
     /// Per-family response-latency histogram, if the family served any
     /// latency-recorded query.
     pub fn family_latency(&self, family: ModelFamily) -> Option<&crate::LatencyHistogram> {
-        self.latency_by_family.get(&family)
+        let hist = &self.latency_by_family[family.index()];
+        (hist.count() > 0).then_some(hist)
     }
 
     /// Records a dropped query (expired in queue or shed by the system).
@@ -162,8 +184,8 @@ impl MetricsCollector {
     /// The aggregate bucket for one interval (all families merged).
     pub fn bucket(&self, index: u64) -> Bucket {
         let mut out = Bucket::default();
-        for family in ModelFamily::ALL {
-            if let Some(b) = self.cells.get(&(index, family)) {
+        if let Some(row) = usize::try_from(index).ok().and_then(|i| self.cells.get(i)) {
+            for b in row {
                 out.merge(b);
             }
         }
@@ -172,9 +194,10 @@ impl MetricsCollector {
 
     /// The bucket for one `(interval, family)` cell.
     pub fn family_bucket(&self, index: u64, family: ModelFamily) -> Bucket {
-        self.cells
-            .get(&(index, family))
-            .copied()
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| self.cells.get(i))
+            .map(|row| row[family.index()])
             .unwrap_or_default()
     }
 

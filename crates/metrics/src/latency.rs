@@ -57,13 +57,47 @@ impl LatencyHistogram {
         }
     }
 
-    fn bucket_of(latency: SimTime) -> usize {
-        let nanos = latency.as_nanos() as f64;
+    /// The defining bucket formula. Only used to build [`Self::edges`]; the
+    /// hot path binary-searches the precomputed edge table instead of paying
+    /// `ln` twice per recorded sample.
+    fn bucket_of_formula(nanos: u64) -> usize {
+        let nanos = nanos as f64;
         if nanos <= FIRST_EDGE_NANOS {
             return 0;
         }
         let idx = ((nanos / FIRST_EDGE_NANOS).ln() / GROWTH.ln()).ceil() as usize;
         idx.min(BUCKETS - 1)
+    }
+
+    /// `edges()[k]` is the smallest nanosecond value that
+    /// [`bucket_of_formula`](Self::bucket_of_formula) maps to a bucket
+    /// `> k`. Each edge is found by binary search with the formula as the
+    /// oracle, so the table lookup agrees with the formula on every input —
+    /// including its float-rounding quirks — by construction (the formula is
+    /// monotone in `nanos`).
+    fn edges() -> &'static [u64; BUCKETS - 1] {
+        static EDGES: std::sync::OnceLock<[u64; BUCKETS - 1]> = std::sync::OnceLock::new();
+        EDGES.get_or_init(|| {
+            let mut edges = [0u64; BUCKETS - 1];
+            for (k, slot) in edges.iter_mut().enumerate() {
+                let (mut lo, mut hi) = (0u64, u64::MAX);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if Self::bucket_of_formula(mid) > k {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                *slot = lo;
+            }
+            edges
+        })
+    }
+
+    fn bucket_of(latency: SimTime) -> usize {
+        let nanos = latency.as_nanos();
+        Self::edges().partition_point(|&edge| edge <= nanos)
     }
 
     /// Upper edge of bucket `idx`.
@@ -221,5 +255,35 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn edge_table_agrees_with_formula() {
+        // The table lookup must reproduce the ln-based formula exactly,
+        // especially at bucket boundaries. Sweep ±2 ns around every edge
+        // plus a coarse pseudorandom scatter across the full range.
+        for &edge in LatencyHistogram::edges() {
+            for n in edge.saturating_sub(2)..=edge.saturating_add(2) {
+                assert_eq!(
+                    LatencyHistogram::bucket_of(SimTime::from_nanos(n)),
+                    LatencyHistogram::bucket_of_formula(n),
+                    "mismatch at {n} ns"
+                );
+            }
+        }
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            // xorshift* scatter; bias toward small values too.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            for n in [x, x % 1_000_000_000, x % 20_000] {
+                assert_eq!(
+                    LatencyHistogram::bucket_of(SimTime::from_nanos(n)),
+                    LatencyHistogram::bucket_of_formula(n),
+                    "mismatch at {n} ns"
+                );
+            }
+        }
     }
 }

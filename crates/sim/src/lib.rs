@@ -123,6 +123,12 @@ impl<E> Simulation<E> {
         self.queue.len()
     }
 
+    /// The highest number of events ever pending at once (the event-queue
+    /// high-water mark, reported by the throughput benchmark).
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Returns a key that can be passed to [`cancel`](Self::cancel).
@@ -171,11 +177,7 @@ impl<E> Simulation<E> {
     {
         let before = self.delivered;
         loop {
-            match self.queue.peek_time() {
-                Some(at) if at <= horizon => {}
-                _ => break,
-            }
-            let Some((at, event)) = self.queue.pop() else {
+            let Some((at, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
             if at < self.now {

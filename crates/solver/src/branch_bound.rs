@@ -236,8 +236,20 @@ impl MilpSolver {
         // DFS stack of bound boxes.
         let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
 
+        // Futility cutoff: if a quarter of the node budget passes without
+        // any incumbent — no successful dive, no integer-feasible leaf —
+        // the instance is almost always integer-infeasible (the strict
+        // demand formulation under over-capacity demand) and the remaining
+        // budget would be spent proving it node by node. Bail with
+        // `NodeLimit`, which the allocation layer already treats as "stop
+        // shrinking, switch to the soft formulation". The floor keeps
+        // deliberately tiny budgets (tests, ablations) on the plain limit.
+        let futility = (self.max_nodes / 4).max(64);
+        let mut hit_limit = false;
+
         while let Some(bounds) = stack.pop() {
-            if stats.nodes >= self.max_nodes {
+            if stats.nodes >= self.max_nodes || (incumbent.is_none() && stats.nodes >= futility) {
+                hit_limit = true;
                 break;
             }
             stats.nodes += 1;
@@ -367,7 +379,7 @@ impl MilpSolver {
         stats.simplex_iterations = ws.iterations;
         match incumbent {
             Some(sol) => Ok(sol),
-            None if stats.nodes >= self.max_nodes => Err(SolveError::NodeLimit),
+            None if hit_limit => Err(SolveError::NodeLimit),
             None => Err(SolveError::Infeasible),
         }
     }

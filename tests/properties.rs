@@ -269,7 +269,7 @@ proptest! {
             ))
             .collect();
         let now = SimTime::from_millis_f64(slo.as_millis_f64() * age_frac);
-        let ctx = BatchContext { now, queue: &queue, profile };
+        let ctx = BatchContext { now, queue: &queue, profile, lat_table: &[] };
         for mut policy in [
             Box::new(ProteusBatching) as Box<dyn BatchPolicy>,
             Box::new(NexusBatching),

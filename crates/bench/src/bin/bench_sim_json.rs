@@ -16,14 +16,18 @@
 //! * `--queries N` — override the headline instance's query count;
 //! * `--check <baseline.json>` — CI perf smoke: run only the reduced
 //!   instance and exit non-zero if its queries/sec regresses more than
-//!   30 % against the committed baseline.
+//!   30 % against the committed baseline;
+//! * `--telemetry` — run with the telemetry plane on (registry, sketches
+//!   and burn-rate engine; no exposition file, dashboard or listener), to
+//!   measure the observability overhead against a default run. The run
+//!   fingerprint must not change — telemetry observes, never steers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use proteus_core::batching::ProteusBatching;
 use proteus_core::schedulers::ProteusAllocator;
-use proteus_core::system::{RunOutcome, ServingSystem, SystemConfig};
+use proteus_core::system::{RunOutcome, ServingSystem, SystemConfig, TelemetryConfig};
 use proteus_workloads::{DiurnalTrace, QueryArrival, TraceBuilder};
 
 /// Best-of-N timing, as in `bench_solver_json`: enough to shave scheduler
@@ -76,9 +80,13 @@ struct Measurement {
     reallocations: u32,
 }
 
-fn run_once(arrivals: &[QueryArrival]) -> (f64, RunOutcome) {
+fn run_once(arrivals: &[QueryArrival], telemetry: bool) -> (f64, RunOutcome) {
+    let mut config = SystemConfig::paper_testbed();
+    if telemetry {
+        config.telemetry = Some(TelemetryConfig::default());
+    }
     let mut system = ServingSystem::new(
-        SystemConfig::paper_testbed(),
+        config,
         Box::new(ProteusAllocator::default()),
         Box::new(ProteusBatching),
     );
@@ -87,10 +95,10 @@ fn run_once(arrivals: &[QueryArrival]) -> (f64, RunOutcome) {
     (start.elapsed().as_secs_f64(), outcome)
 }
 
-fn measure(arrivals: &[QueryArrival]) -> Measurement {
+fn measure(arrivals: &[QueryArrival], telemetry: bool) -> Measurement {
     let mut best: Option<(f64, RunOutcome)> = None;
     for _ in 0..REPEATS {
-        let (secs, outcome) = run_once(arrivals);
+        let (secs, outcome) = run_once(arrivals, telemetry);
         match &best {
             Some((b, _)) if *b <= secs => {}
             _ => best = Some((secs, outcome)),
@@ -190,7 +198,7 @@ fn check_mode(baseline_path: &str) -> i32 {
         return 2;
     };
     let arrivals = trace(REDUCED_QUERIES);
-    let m = measure(&arrivals);
+    let m = measure(&arrivals, false);
     print_summary("fig4_reduced", &m);
     let floor = base_qps * (1.0 - MAX_REGRESSION);
     println!(
@@ -222,6 +230,7 @@ fn main() {
 
     let mut path = "BENCH_sim.json".to_string();
     let mut headline = HEADLINE_QUERIES;
+    let mut telemetry = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--queries" {
@@ -229,6 +238,8 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--queries requires a count");
+        } else if a == "--telemetry" {
+            telemetry = true;
         } else {
             path.clone_from(a);
         }
@@ -236,9 +247,9 @@ fn main() {
 
     let mut instances: Vec<(&str, Measurement)> = Vec::new();
     let reduced = trace(REDUCED_QUERIES);
-    instances.push(("fig4_reduced", measure(&reduced)));
+    instances.push(("fig4_reduced", measure(&reduced, telemetry)));
     let full = trace(headline);
-    instances.push(("fig4_1m", measure(&full)));
+    instances.push(("fig4_1m", measure(&full, telemetry)));
 
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"proteus-bench-sim/1\",\n");

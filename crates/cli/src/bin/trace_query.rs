@@ -4,6 +4,7 @@
 //! trace-query run.jsonl query 17   # one query's lifecycle, reconstructed
 //! trace-query run.jsonl blame     # who to blame for each SLO violation
 //! trace-query run.jsonl summary   # lifecycle counts
+//! trace-query run.jsonl alerts    # SLO burn-rate alert transitions
 //! ```
 
 use std::fmt::Write as _;
@@ -19,6 +20,7 @@ const USAGE: &str = "\
 usage: trace-query <trace.jsonl> query <id>   reconstruct one query's lifecycle
        trace-query <trace.jsonl> blame        attribute every SLO violation
        trace-query <trace.jsonl> summary      lifecycle counts
+       trace-query <trace.jsonl> alerts       SLO burn-rate alert transitions
 
 Reads a JSONL trace recorded with `proteus <config> --trace <path>`.";
 
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         }
         Some("blame") => render_blame(&events),
         Some("summary") => render_summary(&events),
+        Some("alerts") => render_alerts(&events),
         other => {
             let what = other.unwrap_or("nothing");
             eprintln!("error: unknown command `{what}`\n\n{USAGE}");
@@ -171,6 +174,34 @@ fn describe(kind: &EventKind) -> String {
             format!("{device} straggling ({slowdown}x slower)")
         }
         EventKind::StragglerEnded { device } => format!("{device} back to nominal speed"),
+        EventKind::AlertFired {
+            scope,
+            severity,
+            burn,
+            long_secs,
+            short_secs,
+        } => format!(
+            "ALERT {} fired for {} (burn {} over {}s/{}s windows)",
+            severity.label(),
+            scope.map_or("all families", |f| f.label()),
+            fmt_f(*burn, 2),
+            fmt_f(*long_secs, 0),
+            fmt_f(*short_secs, 0),
+        ),
+        EventKind::AlertResolved {
+            scope,
+            severity,
+            burn,
+            long_secs,
+            short_secs,
+        } => format!(
+            "alert {} resolved for {} (burn {} over {}s/{}s windows)",
+            severity.label(),
+            scope.map_or("all families", |f| f.label()),
+            fmt_f(*burn, 2),
+            fmt_f(*long_secs, 0),
+            fmt_f(*short_secs, 0),
+        ),
     }
 }
 
@@ -248,6 +279,20 @@ fn render_blame(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Counts alert transitions in a trace: `(fired, resolved)`.
+fn alert_counts(events: &[TraceEvent]) -> (u64, u64) {
+    let mut fired = 0;
+    let mut resolved = 0;
+    for e in events {
+        match e.kind {
+            EventKind::AlertFired { .. } => fired += 1,
+            EventKind::AlertResolved { .. } => resolved += 1,
+            _ => {}
+        }
+    }
+    (fired, resolved)
+}
+
 /// `trace-query <file> summary`: whole-trace lifecycle counts.
 fn render_summary(events: &[TraceEvent]) -> String {
     let stats = LifecycleStats::from_events(events);
@@ -261,7 +306,55 @@ fn render_summary(events: &[TraceEvent]) -> String {
     t.row(vec!["served late".into(), stats.served_late.to_string()]);
     t.row(vec!["dropped".into(), stats.dropped.to_string()]);
     t.row(vec!["violations".into(), stats.violations().to_string()]);
+    let (fired, resolved) = alert_counts(events);
+    if fired + resolved > 0 {
+        t.row(vec!["alerts fired".into(), fired.to_string()]);
+        t.row(vec!["alerts resolved".into(), resolved.to_string()]);
+    }
     t.render()
+}
+
+/// `trace-query <file> alerts`: every burn-rate alert transition, in
+/// time order, with its scope, severity, windows and burn rate.
+fn render_alerts(events: &[TraceEvent]) -> String {
+    let (fired, resolved) = alert_counts(events);
+    if fired + resolved == 0 {
+        return "no burn-rate alert events in trace (run with telemetry on: \
+                --live, --telemetry-out or `telemetry = on`)\n"
+            .to_string();
+    }
+    let mut out = format!("{fired} alert(s) fired, {resolved} resolved\n");
+    for e in events {
+        let (scope, severity, burn, long_secs, short_secs, what) = match &e.kind {
+            EventKind::AlertFired {
+                scope,
+                severity,
+                burn,
+                long_secs,
+                short_secs,
+            } => (scope, severity, burn, long_secs, short_secs, "FIRED"),
+            EventKind::AlertResolved {
+                scope,
+                severity,
+                burn,
+                long_secs,
+                short_secs,
+            } => (scope, severity, burn, long_secs, short_secs, "resolved"),
+            _ => continue,
+        };
+        let _ = writeln!(
+            out,
+            "  {:>9} s  {:<8} {:<6} {:<13} burn {:>8}  ({}s long / {}s short)",
+            fmt_f(e.at.as_secs_f64(), 1),
+            what,
+            severity.label(),
+            scope.map_or("all families", |f| f.label()),
+            fmt_f(*burn, 2),
+            fmt_f(*long_secs, 0),
+            fmt_f(*short_secs, 0),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -353,5 +446,77 @@ mod tests {
         let out = render_summary(&sample());
         assert!(out.contains("arrived"));
         assert!(out.contains("violations"));
+        // No alert events -> no alert rows.
+        assert!(!out.contains("alerts fired"));
+    }
+
+    fn alert_sample() -> Vec<TraceEvent> {
+        use proteus_trace::AlertSeverity;
+        let mut events = sample();
+        events.push(TraceEvent {
+            at: t(305_000),
+            kind: EventKind::AlertFired {
+                scope: Some(ModelFamily::Bert),
+                severity: AlertSeverity::Page,
+                burn: 9.125,
+                long_secs: 60.0,
+                short_secs: 10.0,
+            },
+        });
+        events.push(TraceEvent {
+            at: t(415_000),
+            kind: EventKind::AlertResolved {
+                scope: Some(ModelFamily::Bert),
+                severity: AlertSeverity::Page,
+                burn: 0.5,
+                long_secs: 60.0,
+                short_secs: 10.0,
+            },
+        });
+        events.push(TraceEvent {
+            at: t(620_000),
+            kind: EventKind::AlertFired {
+                scope: None,
+                severity: AlertSeverity::Ticket,
+                burn: 2.25,
+                long_secs: 300.0,
+                short_secs: 60.0,
+            },
+        });
+        events
+    }
+
+    #[test]
+    fn alerts_report_lists_transitions() {
+        let out = render_alerts(&alert_sample());
+        assert!(out.contains("2 alert(s) fired, 1 resolved"), "{out}");
+        assert!(out.contains("FIRED"));
+        assert!(out.contains("resolved"));
+        assert!(out.contains("BERT"));
+        assert!(out.contains("all families"));
+        assert!(out.contains("9.12"));
+        assert!(out.contains("60s long / 10s short"));
+        // Alert-free traces point at how to enable telemetry.
+        assert!(render_alerts(&sample()).contains("no burn-rate alert events"));
+    }
+
+    #[test]
+    fn summary_includes_alert_counts_when_present() {
+        let out = render_summary(&alert_sample());
+        assert!(out.contains("alerts fired"));
+        assert!(out.contains("alerts resolved"));
+    }
+
+    #[test]
+    fn describe_renders_alert_events() {
+        let events = alert_sample();
+        let fired = describe(&events[events.len() - 3].kind);
+        assert!(fired.contains("ALERT page fired for BERT"), "{fired}");
+        assert!(fired.contains("burn 9.12"));
+        let resolved = describe(&events[events.len() - 2].kind);
+        assert!(
+            resolved.contains("alert page resolved for BERT"),
+            "{resolved}"
+        );
     }
 }

@@ -118,6 +118,22 @@ pub struct ExperimentConfig {
     /// Injected fault schedule (`faults = crash@30:2; recover@90:2; ...`
     /// or the `--faults` flag). Empty by default.
     pub faults: FaultSchedule,
+    /// Enable the live telemetry plane (`telemetry = on`). Also forced on
+    /// by the `--live`, `--telemetry-out` and `--telemetry-http` flags.
+    pub telemetry: bool,
+    /// Telemetry sliding-window span, seconds.
+    pub telemetry_window_secs: f64,
+    /// Telemetry window advance step, seconds.
+    pub telemetry_step_secs: f64,
+    /// On-time SLO objective for burn-rate alerting, in `(0, 1)`.
+    pub telemetry_objective: f64,
+    /// Redraw the ANSI dashboard on stderr every window (`--live`).
+    pub live: bool,
+    /// Append one Prometheus text-format page per window to this file
+    /// (`--telemetry-out`).
+    pub telemetry_out: Option<String>,
+    /// Serve the latest page on `127.0.0.1:port` (`--telemetry-http`).
+    pub telemetry_http: Option<u16>,
 }
 
 impl Default for ExperimentConfig {
@@ -137,6 +153,13 @@ impl Default for ExperimentConfig {
             output: OutputKind::Summary,
             audit: false,
             faults: FaultSchedule::default(),
+            telemetry: false,
+            telemetry_window_secs: 10.0,
+            telemetry_step_secs: 1.0,
+            telemetry_objective: 0.95,
+            live: false,
+            telemetry_out: None,
+            telemetry_http: None,
         }
     }
 }
@@ -250,6 +273,20 @@ impl FromStr for ExperimentConfig {
                         other => return Err(bad(format!("bad audit value `{other}`"))),
                     }
                 }
+                "telemetry" => {
+                    config.telemetry = match value {
+                        "true" | "on" | "1" => true,
+                        "false" | "off" | "0" => false,
+                        other => return Err(bad(format!("bad telemetry value `{other}`"))),
+                    }
+                }
+                "telemetry_window" | "telemetry_window_secs" => {
+                    config.telemetry_window_secs = num(value)?
+                }
+                "telemetry_step" | "telemetry_step_secs" => {
+                    config.telemetry_step_secs = num(value)?
+                }
+                "telemetry_objective" => config.telemetry_objective = num(value)?,
                 "output" => {
                     config.output = match value {
                         "summary" => OutputKind::Summary,
@@ -296,6 +333,16 @@ impl ExperimentConfig {
         }
         if self.beta < 1.0 {
             return Err("beta must be >= 1.0".into());
+        }
+        if self.telemetry_step_secs <= 0.0 || self.telemetry_window_secs < self.telemetry_step_secs
+        {
+            return Err(format!(
+                "need 0 < telemetry_step ({}) <= telemetry_window ({})",
+                self.telemetry_step_secs, self.telemetry_window_secs
+            ));
+        }
+        if !(0.0 < self.telemetry_objective && self.telemetry_objective < 1.0) {
+            return Err("telemetry_objective must be in (0, 1)".into());
         }
         Ok(())
     }
@@ -376,6 +423,37 @@ mod tests {
         assert!(err.reason.contains("bad fault spec"), "{}", err.reason);
         // Default: no faults.
         assert!(ExperimentConfig::default().faults.is_empty());
+    }
+
+    #[test]
+    fn parses_telemetry_keys() {
+        let c: ExperimentConfig = "
+            telemetry = on
+            telemetry_window = 20
+            telemetry_step = 2
+            telemetry_objective = 0.99
+        "
+        .parse()
+        .unwrap();
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_window_secs, 20.0);
+        assert_eq!(c.telemetry_step_secs, 2.0);
+        assert_eq!(c.telemetry_objective, 0.99);
+        // Off by default, and output destinations are flag-only.
+        let d = ExperimentConfig::default();
+        assert!(!d.telemetry && !d.live);
+        assert!(d.telemetry_out.is_none() && d.telemetry_http.is_none());
+
+        let err = "telemetry = maybe".parse::<ExperimentConfig>().unwrap_err();
+        assert!(err.reason.contains("telemetry"));
+        let err = "telemetry_step = 5\ntelemetry_window = 2"
+            .parse::<ExperimentConfig>()
+            .unwrap_err();
+        assert!(err.reason.contains("telemetry_step"));
+        let err = "telemetry_objective = 1.5"
+            .parse::<ExperimentConfig>()
+            .unwrap_err();
+        assert!(err.reason.contains("telemetry_objective"));
     }
 
     #[test]

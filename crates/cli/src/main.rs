@@ -29,11 +29,16 @@ realloc_period = 30
 beta = 1.05
 output = summary           # summary | timeseries | families | latency
 # faults = crash@300:31; recover@600:31; loadfail@0.05   # fault injection
+telemetry = off            # on: windowed metrics + SLO burn-rate alerts
+telemetry_window = 10      # sliding-window span, sim seconds
+telemetry_step = 1         # window advance step, sim seconds
+telemetry_objective = 0.95 # on-time SLO objective for burn-rate alerts
 ";
 
 const USAGE: &str = "\
 usage: proteus <config-file> [--audit] [--faults <spec>]
                [--trace <path>] [--trace-format jsonl|chrome]
+               [--live] [--telemetry-out <path>] [--telemetry-http <port>]
        proteus --print-default-config
 
 Runs a Proteus inference-serving experiment described by a
@@ -48,7 +53,14 @@ Runs a Proteus inference-serving experiment described by a
                           (overrides the config's `faults` key)
   --trace <path>          record flight-recorder events to <path>
   --trace-format <fmt>    jsonl (default; analyse with trace-query) or
-                          chrome (open in chrome://tracing or Perfetto)";
+                          chrome (open in chrome://tracing or Perfetto)
+  --live                  redraw an ANSI dashboard on stderr every
+                          telemetry window (implies telemetry = on)
+  --telemetry-out <path>  append one Prometheus text-format page per
+                          window to <path> (implies telemetry = on;
+                          check with promcheck)
+  --telemetry-http <port> serve the latest page on 127.0.0.1:<port>
+                          (implies telemetry = on; port 0 = ephemeral)";
 
 /// How `--trace-format` renders the recorded events.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -64,6 +76,9 @@ struct CliArgs {
     trace_format: TraceFormat,
     audit: bool,
     faults: Option<String>,
+    live: bool,
+    telemetry_out: Option<String>,
+    telemetry_http: Option<u16>,
 }
 
 /// Splits flags (any position) from the one positional config path.
@@ -73,6 +88,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut trace_format = TraceFormat::Jsonl;
     let mut audit = false;
     let mut faults = None;
+    let mut live = false;
+    let mut telemetry_out = None;
+    let mut telemetry_http = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +98,18 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--faults" => {
                 let spec = it.next().ok_or("--faults needs a schedule spec")?;
                 faults = Some(spec.clone());
+            }
+            "--live" => live = true,
+            "--telemetry-out" => {
+                let path = it.next().ok_or("--telemetry-out needs a file path")?;
+                telemetry_out = Some(path.clone());
+            }
+            "--telemetry-http" => {
+                let port = it.next().ok_or("--telemetry-http needs a port")?;
+                telemetry_http = Some(
+                    port.parse::<u16>()
+                        .map_err(|_| format!("bad port `{port}`"))?,
+                );
             }
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a file path")?;
@@ -110,6 +140,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         trace_format,
         audit,
         faults,
+        live,
+        telemetry_out,
+        telemetry_http,
     })
 }
 
@@ -179,6 +212,13 @@ fn main() -> ExitCode {
                 }
             };
             config.audit |= cli.audit;
+            config.live |= cli.live;
+            if cli.telemetry_out.is_some() {
+                config.telemetry_out = cli.telemetry_out.clone();
+            }
+            if cli.telemetry_http.is_some() {
+                config.telemetry_http = cli.telemetry_http;
+            }
             if let Some(spec) = &cli.faults {
                 config.faults = match spec.parse() {
                     Ok(f) => f,
@@ -279,11 +319,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_telemetry_flags() {
+        let c = parse_args(&argv(&[
+            "exp.conf",
+            "--live",
+            "--telemetry-out",
+            "run.prom",
+            "--telemetry-http",
+            "9090",
+        ]))
+        .unwrap();
+        assert!(c.live);
+        assert_eq!(c.telemetry_out.as_deref(), Some("run.prom"));
+        assert_eq!(c.telemetry_http, Some(9090));
+        let c = parse_args(&argv(&["exp.conf"])).unwrap();
+        assert!(!c.live && c.telemetry_out.is_none() && c.telemetry_http.is_none());
+    }
+
+    #[test]
     fn rejects_bad_flag_usage() {
         assert!(parse_args(&argv(&["exp.conf", "--trace"])).is_err());
         assert!(parse_args(&argv(&["exp.conf", "--faults"])).is_err());
         assert!(parse_args(&argv(&["exp.conf", "--trace-format", "xml"])).is_err());
         assert!(parse_args(&argv(&["exp.conf", "--frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--telemetry-out"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--telemetry-http", "zero"])).is_err());
         assert!(parse_args(&argv(&["a.conf", "b.conf"])).is_err());
         assert!(parse_args(&argv(&[])).is_err());
     }

@@ -7,9 +7,10 @@ use proteus_core::schedulers::{
     Allocator, ClipperAllocator, ClipperMode, InfaasAccuracyAllocator, ProteusAllocator,
     SommelierAllocator,
 };
-use proteus_core::system::{ReplanCause, RunOutcome, ServingSystem, SystemConfig};
+use proteus_core::system::{ReplanCause, RunOutcome, ServingSystem, SystemConfig, TelemetryConfig};
 use proteus_metrics::report::{fmt_f, TextTable};
 use proteus_profiler::{Cluster, SloPolicy};
+use proteus_sim::SimTime;
 use proteus_trace::{NullSink, TraceSink};
 use proteus_workloads::{BurstyTrace, DemandTrace, DiurnalTrace, FlatTrace, TraceBuilder};
 
@@ -93,6 +94,22 @@ pub fn run_experiment_traced(
     system_config.seed = config.seed;
     system_config.audit = config.audit;
     system_config.faults = config.faults.clone();
+    // Any telemetry output destination switches the plane on.
+    let telemetry_on = config.telemetry
+        || config.live
+        || config.telemetry_out.is_some()
+        || config.telemetry_http.is_some();
+    if telemetry_on {
+        system_config.telemetry = Some(TelemetryConfig {
+            window: SimTime::from_secs_f64(config.telemetry_window_secs),
+            step: SimTime::from_secs_f64(config.telemetry_step_secs),
+            objective: config.telemetry_objective,
+            expo_path: config.telemetry_out.as_ref().map(std::path::PathBuf::from),
+            live: config.live,
+            http_port: config.telemetry_http,
+            ..TelemetryConfig::default()
+        });
+    }
 
     let mut system = ServingSystem::new(
         system_config,
@@ -102,6 +119,37 @@ pub fn run_experiment_traced(
     let outcome = system.run_traced(&arrivals, sink);
     let report = render(config, &outcome);
     ExperimentOutput { outcome, report }
+}
+
+/// The end-of-run alert summary appended to human-readable reports when
+/// the telemetry plane ran: headline counts plus one line per alert
+/// lifetime, e.g. `page  BERT  fired t=305s  resolved t=628s  burn 9.12`.
+fn telemetry_block(outcome: &RunOutcome) -> Option<String> {
+    let t = outcome.telemetry.as_ref()?;
+    let mut out = format!(
+        "telemetry: {} window(s), {} alert(s) fired, {} resolved, peak burn {}\n",
+        t.windows,
+        t.alerts_fired,
+        t.alerts_resolved,
+        fmt_f(t.peak_burn, 2)
+    );
+    for a in &t.alerts {
+        let resolved = match a.resolved_at {
+            Some(at) => format!("resolved t={}s", fmt_f(at.as_secs_f64(), 0)),
+            None => "still firing at end of run".into(),
+        };
+        out.push_str(&format!(
+            "  {:<6} {:<13} fired t={}s  {resolved}  burn {}\n",
+            a.severity.label(),
+            a.scope.map_or("all", |f| f.label()),
+            fmt_f(a.fired_at.as_secs_f64(), 0),
+            fmt_f(a.burn_at_fire, 2),
+        ));
+    }
+    if t.io_error {
+        out.push_str("  (telemetry I/O error: exposition output incomplete)\n");
+    }
+    Some(out)
 }
 
 /// One line summarizing the replan log: counts by trigger cause plus the
@@ -133,6 +181,18 @@ fn replan_log_line(outcome: &RunOutcome) -> Option<String> {
 }
 
 fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
+    let mut report = render_body(config, outcome);
+    // CSV output stays machine-clean; every other format carries the
+    // alert summary.
+    if config.output != OutputKind::Timeseries {
+        if let Some(block) = telemetry_block(outcome) {
+            report.push_str(&block);
+        }
+    }
+    report
+}
+
+fn render_body(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
     match config.output {
         OutputKind::Summary => {
             let s = outcome.metrics.summary();
@@ -361,6 +421,34 @@ mod tests {
         assert_eq!(stats.terminals(), stats.arrived);
         assert_eq!(stats.served_on_time + stats.served_late, s.total_served);
         assert_eq!(stats.dropped, s.total_dropped);
+    }
+
+    #[test]
+    fn telemetry_run_summarizes_and_writes_valid_exposition() {
+        let path = std::env::temp_dir().join("proteus_runner_telemetry_test.prom");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = quick_config("trace_secs = 30\ntelemetry = on\ntelemetry_window = 5");
+        cfg.telemetry_out = Some(path.to_string_lossy().into_owned());
+        let out = run_experiment(&cfg);
+        let t = out.outcome.telemetry.as_ref().expect("telemetry summary");
+        assert!(
+            t.windows >= 3,
+            "expected several windows, got {}",
+            t.windows
+        );
+        assert!(!t.io_error);
+        assert!(out.report.contains("telemetry:"), "{}", out.report);
+        let text = std::fs::read_to_string(&path).expect("exposition file");
+        let stats = proteus_telemetry::validate(&text).expect("valid exposition");
+        assert_eq!(stats.pages as u64, t.windows);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn telemetry_off_leaves_no_summary() {
+        let out = run_experiment(&quick_config(""));
+        assert!(out.outcome.telemetry.is_none());
+        assert!(!out.report.contains("telemetry:"));
     }
 
     #[test]

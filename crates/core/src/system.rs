@@ -25,6 +25,12 @@ use proteus_metrics::MetricsCollector;
 use proteus_profiler::{Cluster, ModelZoo, Profile, ProfileStore, SloPolicy, VariantId};
 use proteus_sim::{Actor, EventKey, FaultKind, FaultSchedule, SimTime, Simulation};
 use proteus_solver::SolveStats;
+use proteus_telemetry::burn::AlertTransition;
+use proteus_telemetry::registry::DeviceSample;
+use proteus_telemetry::{Phase, TelemetryRuntime};
+// Re-exported so downstream code can configure the telemetry plane and
+// read its summary without depending on proteus-telemetry directly.
+pub use proteus_telemetry::{TelemetryConfig, TelemetrySummary};
 use proteus_trace::{DropReason, EventKind, NullSink, TraceEvent, TraceSink};
 // Re-exported so downstream code can name replan causes without depending
 // on proteus-trace directly.
@@ -98,6 +104,11 @@ pub struct SystemConfig {
     /// fault-free event stream is bit-identical to a build without this
     /// field.
     pub faults: FaultSchedule,
+    /// Live telemetry plane (windowed metrics, Prometheus exposition,
+    /// burn-rate alerts, `--live` dashboard). `None` (the default) keeps
+    /// it entirely off: every hook site reduces to one untaken branch and
+    /// the event stream is byte-identical to a build without this field.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// Configuration of the §7 hardware-scaling tandem extension.
@@ -152,6 +163,7 @@ impl SystemConfig {
             drain_secs: 5.0,
             elastic: None,
             faults: FaultSchedule::default(),
+            telemetry: None,
         }
     }
 
@@ -209,6 +221,9 @@ pub struct RunOutcome {
     /// allocation reuse). Purely observational: none of these feed back
     /// into serving decisions.
     pub hot_stats: HotPathStats,
+    /// End-of-run telemetry summary (windows emitted, alert lifetimes,
+    /// peak burn rate). `None` when [`SystemConfig::telemetry`] was off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Observational counters from the serving loop's hot path, reported by
@@ -442,6 +457,12 @@ impl ServingSystem {
             replan_log: Vec::new(),
             plan_audits: 0,
             audit_violations: 0,
+            telemetry: self
+                .config
+                .telemetry
+                .clone()
+                .map(|cfg| Box::new(TelemetryRuntime::new(cfg))),
+            phase_sample_ctr: [0; Phase::COUNT],
         };
 
         let mut sim: Simulation<Event> = Simulation::new();
@@ -512,6 +533,13 @@ impl ServingSystem {
             }
         }
 
+        // Close the telemetry plane: seal the tail, emit the last window,
+        // flush the exposition file, and carry the summary out.
+        let telemetry = engine.telemetry.take().map(|mut t| {
+            let devices = engine.device_samples();
+            t.finish(horizon, &devices)
+        });
+
         engine.trace.flush();
         RunOutcome {
             metrics: engine.metrics,
@@ -532,6 +560,7 @@ impl ServingSystem {
                 batch_buffers_reused: engine.pool_reused,
                 batch_buffers_allocated: engine.pool_alloc,
             },
+            telemetry,
         }
     }
 }
@@ -646,6 +675,14 @@ struct Engine<'a> {
     plan_audits: u32,
     /// Violations found by plan audits (accumulated into the outcome).
     audit_violations: u32,
+    /// The live telemetry plane; `None` (the default) costs one untaken
+    /// branch per hook site, like a disabled trace sink. Boxed so the
+    /// engine does not carry the registry's footprint inline.
+    telemetry: Option<Box<TelemetryRuntime>>,
+    /// Per-phase invocation counters driving sampled self-profiling
+    /// (see [`phase_start`](Self::phase_start)). Untouched when
+    /// telemetry is off.
+    phase_sample_ctr: [u32; Phase::COUNT],
 }
 
 impl Engine<'_> {
@@ -653,9 +690,90 @@ impl Engine<'_> {
         self.trace.record(&TraceEvent { at, kind });
     }
 
+    /// Starts a control-plane self-profiling timer — `None` (free) when
+    /// the telemetry plane is off.
+    ///
+    /// The invocation is always counted; the clock is only read for one
+    /// in `2^sample_log2()` invocations of the hot phases (route, batch
+    /// decide), since a per-query `Instant::now` pair would cost more
+    /// than the phases it measures. [`phase_end`](Self::phase_end) scales
+    /// the sampled duration back up.
+    #[inline]
+    fn phase_start(&mut self, phase: Phase) -> Option<std::time::Instant> {
+        let t = self.telemetry.as_deref_mut()?;
+        t.on_phase_call(phase);
+        let ctr = &mut self.phase_sample_ctr[phase.index()];
+        *ctr = ctr.wrapping_add(1);
+        if *ctr & ((1u32 << phase.sample_log2()) - 1) == 0 {
+            // lint:allow(wall-clock) — control-plane self-profiling for the
+            // telemetry plane; durations are reported, never fed back into
+            // sim logic, and only measured when telemetry is on.
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a [`phase_start`](Self::phase_start) timer into the registry.
+    #[inline]
+    fn phase_end(&mut self, phase: Phase, t0: Option<std::time::Instant>) {
+        if let (Some(t), Some(t0)) = (self.telemetry.as_deref_mut(), t0) {
+            t.on_phase_nanos(
+                phase,
+                (t0.elapsed().as_nanos() as u64) << phase.sample_log2(),
+            );
+        }
+    }
+
+    /// Snapshots every device for the telemetry registry (cumulative
+    /// busy/batch/query counters; the registry differences them per window).
+    fn device_samples(&self) -> Vec<DeviceSample> {
+        self.workers
+            .iter()
+            .zip(&self.device_stats)
+            .map(|(w, s)| DeviceSample {
+                queue_depth: w.queue_len() as u32,
+                up: w.is_up(),
+                busy: s.busy,
+                batches: s.batches,
+                queries: s.queries,
+            })
+            .collect()
+    }
+
+    /// Surfaces burn-rate alert transitions as first-class trace events.
+    fn emit_alerts(&mut self, transitions: &[AlertTransition]) {
+        if !self.trace_on {
+            return;
+        }
+        for tr in transitions {
+            let kind = if tr.fired {
+                EventKind::AlertFired {
+                    scope: tr.scope,
+                    severity: tr.severity,
+                    burn: tr.burn,
+                    long_secs: tr.long_secs,
+                    short_secs: tr.short_secs,
+                }
+            } else {
+                EventKind::AlertResolved {
+                    scope: tr.scope,
+                    severity: tr.severity,
+                    burn: tr.burn,
+                    long_secs: tr.long_secs,
+                    short_secs: tr.short_secs,
+                }
+            };
+            self.emit(tr.at, kind);
+        }
+    }
+
     /// Records a drop in both the metrics and the trace.
     fn drop_query(&mut self, now: SimTime, q: &Query, reason: DropReason) {
         self.metrics.record_dropped(now, q.family);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_dropped(q.family);
+        }
         if self.trace_on {
             self.emit(
                 now,
@@ -881,7 +999,10 @@ impl Engine<'_> {
                 // profiles every (variant, device type) pair; a miss with a
                 // hosted variant is a construction bug.
                 .expect("every (variant, device type) pair is profiled");
-            match self.workers[device].decide(now, profile, &self.lat_tables[device]) {
+            let decide_t0 = self.phase_start(Phase::BatchDecide);
+            let decision = self.workers[device].decide(now, profile, &self.lat_tables[device]);
+            self.phase_end(Phase::BatchDecide, decide_t0);
+            match decision {
                 BatchDecision::Idle => {
                     self.cancel_timer(device, sim);
                     return;
@@ -1140,6 +1261,10 @@ impl Engine<'_> {
             .allocate(&ctx, &demand, Some(&self.plan), now);
         let wall_secs = start.elapsed().as_secs_f64();
         self.allocator_wall_secs += wall_secs;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_phase(Phase::Solve, (wall_secs * 1e9) as u64);
+            t.on_reallocation();
+        }
         if let Some(stats) = self.allocator.last_solve_stats() {
             self.solver_stats += stats;
             if self.trace_on {
@@ -1180,7 +1305,9 @@ impl Engine<'_> {
             }
         }
         let shrink = plan.shrink();
+        let apply_t0 = self.phase_start(Phase::ReplanApply);
         let changed = self.apply_plan(plan, now, sim);
+        self.phase_end(Phase::ReplanApply, apply_t0);
         self.replan_log.push(ReplanRecord {
             at: now,
             cause,
@@ -1366,6 +1493,9 @@ impl Actor for Engine<'_> {
             Event::NextArrival(i) => {
                 let arrival = self.arrivals[i];
                 self.metrics.record_arrival(now, arrival.family);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_arrival(arrival.family);
+                }
                 self.estimator.record(arrival.family);
                 let slo = self.slo_by_family[arrival.family];
                 let query =
@@ -1379,7 +1509,10 @@ impl Actor for Engine<'_> {
                         },
                     );
                 }
-                match self.route(arrival.family) {
+                let route_t0 = self.phase_start(Phase::Route);
+                let routed = self.route(arrival.family);
+                self.phase_end(Phase::Route, route_t0);
+                match routed {
                     // Scripted allocators may keep a dead device in their
                     // routing tables; the solver path never does.
                     Some(d) if !self.workers[d].is_up() => {
@@ -1454,6 +1587,9 @@ impl Actor for Engine<'_> {
                     let latency = now.saturating_sub(q.arrived);
                     self.metrics
                         .record_served_latency(now, q.family, accuracy, on_time, latency);
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.on_served(q.family, accuracy, on_time, latency);
+                    }
                     if self.trace_on {
                         let kind = if on_time {
                             EventKind::ServedOnTime {
@@ -1566,6 +1702,15 @@ impl Actor for Engine<'_> {
                             self.reallocate(now, ReplanCause::Burst, sim);
                         }
                     }
+                }
+                // Drive the telemetry plane on the monitoring cadence: the
+                // registry seals a step, the burn engine scans it, and any
+                // alert transitions become first-class trace events.
+                if let Some(mut t) = self.telemetry.take() {
+                    let devices = self.device_samples();
+                    let transitions = t.tick(now, &devices);
+                    self.emit_alerts(&transitions);
+                    self.telemetry = Some(t);
                 }
                 let next = now + SimTime::from_secs_f64(self.config.monitor_period_secs);
                 if next <= self.horizon {

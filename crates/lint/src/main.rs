@@ -63,6 +63,7 @@ fn rule_applies(rule: &str, rel: &str) -> bool {
             "crates/core/src/",
             "crates/sim/src/",
             "crates/solver/src/",
+            "crates/telemetry/src/",
             "crates/trace/src/",
         ]),
         "float-eq" => {
@@ -75,7 +76,11 @@ fn rule_applies(rule: &str, rel: &str) -> bool {
                 ])
         }
         "hash-iter" => in_any(&["crates/core/src/", "crates/sim/src/", "crates/solver/src/"]),
-        "wall-clock" => in_any(&["crates/core/src/", "crates/sim/src/"]),
+        "wall-clock" => in_any(&[
+            "crates/core/src/",
+            "crates/sim/src/",
+            "crates/telemetry/src/",
+        ]),
         _ => false,
     }
 }
@@ -809,6 +814,13 @@ mod tests {
         assert!(!rule_applies("float-eq", "crates/solver/src/eps.rs"));
         assert!(rule_applies("hash-iter", "crates/sim/src/event.rs"));
         assert!(!rule_applies("wall-clock", "crates/solver/src/simplex.rs"));
+        assert!(rule_applies("no-panic", "crates/telemetry/src/sketch.rs"));
+        assert!(rule_applies("wall-clock", "crates/telemetry/src/http.rs"));
+        assert!(!rule_applies("float-eq", "crates/telemetry/src/burn.rs"));
+        assert!(!rule_applies(
+            "hash-iter",
+            "crates/telemetry/src/registry.rs"
+        ));
     }
 
     #[test]

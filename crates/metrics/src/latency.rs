@@ -144,6 +144,13 @@ impl LatencyHistogram {
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
+                // The last bucket is an unbounded catch-all: its nominal
+                // edge is a *lower* bound for its contents, so reporting
+                // it would under-state the tail. The exact max is the only
+                // honest answer there.
+                if idx == BUCKETS - 1 {
+                    return Some(self.max);
+                }
                 return Some(Self::edge(idx).min(self.max));
             }
         }
@@ -255,6 +262,103 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut a = LatencyHistogram::new();
+        for i in 1..=50u64 {
+            a.record(ms(i));
+        }
+        let before_p99 = a.percentile(0.99);
+        let before_mean = a.mean();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 50);
+        assert_eq!(a.percentile(0.99), before_p99);
+        assert_eq!(a.mean(), before_mean);
+
+        // And merging INTO an empty one adopts the source exactly.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.max(), a.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), a.percentile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_that_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(ms(37));
+        // One sample: the bucket edge overestimate is clamped by `max`,
+        // so every quantile is the sample itself, exactly.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(ms(37)), "q = {q}");
+        }
+        assert_eq!(h.mean(), Some(ms(37)));
+        assert_eq!(h.max(), ms(37));
+    }
+
+    #[test]
+    fn saturating_top_bucket_keeps_order_and_max() {
+        // Everything lands in the catch-all overflow bucket; quantiles
+        // must stay clamped to the true max, not the astronomical edge.
+        let mut h = LatencyHistogram::new();
+        for secs in [200u64, 5_000, 100_000] {
+            h.record(SimTime::from_secs(secs));
+        }
+        assert_eq!(h.percentile(1.0), Some(SimTime::from_secs(100_000)));
+        assert!(h.percentile(0.5).unwrap() <= h.max());
+        // Merging two saturated histograms stays saturated and exact-max.
+        let mut other = LatencyHistogram::new();
+        other.record(SimTime::from_secs(999_999));
+        h.merge(&other);
+        assert_eq!(h.max(), SimTime::from_secs(999_999));
+        assert_eq!(h.percentile(1.0), Some(SimTime::from_secs(999_999)));
+    }
+
+    #[test]
+    fn merged_percentiles_match_recording_into_one() {
+        use proptest::test_runner::TestRng;
+        // Property: splitting a sample stream across two histograms and
+        // merging is indistinguishable from recording into one — counts,
+        // mean, max and every quantile.
+        for case in 0..100u64 {
+            let mut rng = TestRng::for_case("latency::merged_matches_single", case);
+            let n = 1 + rng.next_below(500) as usize;
+            let mut merged = LatencyHistogram::new();
+            let mut part = LatencyHistogram::new();
+            let mut single = LatencyHistogram::new();
+            for i in 0..n {
+                // Span 1 µs .. ~17 min, covering both end buckets.
+                let nanos = 1_000 + rng.next_below(1_000_000_000_000);
+                let sample = SimTime::from_nanos(nanos);
+                single.record(sample);
+                if i % 2 == 0 {
+                    merged.record(sample);
+                } else {
+                    part.record(sample);
+                }
+            }
+            merged.merge(&part);
+            assert_eq!(merged.count(), single.count(), "case {case}");
+            assert_eq!(merged.max(), single.max(), "case {case}");
+            assert_eq!(merged.mean(), single.mean(), "case {case}");
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    merged.percentile(q),
+                    single.percentile(q),
+                    "case {case} q {q}"
+                );
+            }
+            let slo = SimTime::from_nanos(1_000 + rng.next_below(1_000_000_000));
+            assert_eq!(
+                merged.fraction_within(slo),
+                single.fraction_within(slo),
+                "case {case}"
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl Model {
 #[test]
 fn queue_matches_reference_model_on_random_schedules() {
     for seed in 0..100u64 {
-        let mut rng = Rng(seed * 0x9e37_79b9_7f4a_7c15 + 1);
+        let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
         let mut queue: EventQueue<u64> = EventQueue::new();
         let mut model = Model::default();
         // Keys live alongside the model's sequence numbers so cancellations

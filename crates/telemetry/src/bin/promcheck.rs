@@ -1,0 +1,39 @@
+//! `promcheck` — validate a Prometheus text-format exposition file
+//! produced by `--telemetry-out` (CI's "Telemetry smoke" job runs this).
+//!
+//! Usage: `promcheck <file>`
+//! Exit code 0 and a one-line summary when clean; 1 with every
+//! violation listed otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: promcheck <exposition-file>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("promcheck: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match proteus_telemetry::validate(&text) {
+        Ok(stats) => {
+            println!(
+                "promcheck: OK — {} pages, {} samples, {} series",
+                stats.pages, stats.samples, stats.series
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("promcheck: {v}");
+            }
+            eprintln!("promcheck: {} violation(s) in {path}", violations.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking HTTP listener serving the latest exposition page.
+//!
+//! This is the one place the telemetry plane touches *real* time: a
+//! Prometheus server scrapes in wall-clock time while the simulation
+//! races ahead in sim time, so every scrape simply returns the most
+//! recently rendered page. One thread, std-only, GET-anything-returns-
+//! the-page semantics — enough for `curl` and a scrape config, nothing
+//! more.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Handle to the scrape listener thread.
+#[derive(Debug)]
+pub struct HttpHandle {
+    latest: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free port) and starts
+    /// serving. Returns `Err` if the bind fails.
+    pub fn spawn(port: u16) -> std::io::Result<HttpHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let latest = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let body = Arc::clone(&latest);
+        let quit = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || serve(listener, body, quit));
+        Ok(HttpHandle {
+            latest,
+            stop,
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful when spawned with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Publishes a freshly rendered page as the scrape body.
+    pub fn publish(&self, page: &str) {
+        if let Ok(mut latest) = self.latest.lock() {
+            latest.clear();
+            latest.push_str(page);
+        }
+    }
+}
+
+impl Drop for HttpHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, body: Arc<Mutex<String>>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Real scrapes happen in wall-clock time; stamp the response so a
+        // human can tell how stale a page is relative to their clock.
+        // lint:allow(wall-clock) — HTTP scrape timestamps are inherently wall-clock; never feeds the simulation
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        // Drain (and ignore) the request head; we serve one document.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let page = body.lock().map(|p| p.clone()).unwrap_or_default();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nX-Proteus-Scraped-At: {unix_secs}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{page}",
+            page.len(),
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_the_latest_page() {
+        let handle = HttpHandle::spawn(0).expect("bind loopback");
+        handle.publish("# HELP m x\n# TYPE m gauge\nm 1\n");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("version=0.0.4"));
+        assert!(response.contains("m 1"));
+        drop(handle); // join cleanly
+    }
+}

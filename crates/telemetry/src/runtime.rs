@@ -1,0 +1,399 @@
+//! The runtime facade the serving engine drives: configuration, the
+//! per-tick pipeline (seal step → burn engine → window emission), file
+//! and HTTP output, and the end-of-run summary.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use proteus_profiler::ModelFamily;
+use proteus_sim::SimTime;
+use proteus_trace::AlertSeverity;
+
+use crate::burn::{AlertTransition, BurnEngine, BurnRule};
+use crate::dashboard::Dashboard;
+use crate::expose::render_page;
+use crate::http::HttpHandle;
+use crate::registry::{DeviceSample, Phase, Registry};
+
+/// Configuration of the telemetry plane. `None` in
+/// `SystemConfig::telemetry` (the default) keeps the plane entirely off —
+/// the engine then pays one untaken branch per hook site, mirroring the
+/// `NullSink` tracing pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Sliding-window span for rates and gauges.
+    pub window: SimTime,
+    /// Step the window advances by (one seal per monitoring tick at
+    /// most; the effective step is never finer than the tick cadence).
+    pub step: SimTime,
+    /// On-time SLO objective in `(0, 1)`: the fraction of arrivals that
+    /// must not be violated. The error budget is `1 - objective`.
+    pub objective: f64,
+    /// Burn-rate alerting rules.
+    pub rules: Vec<BurnRule>,
+    /// Relative-error bound of the latency quantile sketch.
+    pub sketch_alpha: f64,
+    /// Append one Prometheus text-format page per window to this file.
+    pub expo_path: Option<PathBuf>,
+    /// Redraw the ANSI dashboard on stderr every window.
+    pub live: bool,
+    /// Serve the latest page over HTTP on `127.0.0.1:port`.
+    pub http_port: Option<u16>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window: SimTime::from_secs(10),
+            step: SimTime::from_secs(1),
+            objective: 0.95,
+            rules: vec![
+                // Fast burn: a minute at >= 6x budget consumption pages.
+                BurnRule {
+                    severity: AlertSeverity::Page,
+                    long: SimTime::from_secs(60),
+                    short: SimTime::from_secs(10),
+                    factor: 6.0,
+                },
+                // Slow burn: five minutes at >= 2x opens a ticket.
+                BurnRule {
+                    severity: AlertSeverity::Ticket,
+                    long: SimTime::from_secs(300),
+                    short: SimTime::from_secs(60),
+                    factor: 2.0,
+                },
+            ],
+            sketch_alpha: 0.01,
+            expo_path: None,
+            live: false,
+            http_port: None,
+        }
+    }
+}
+
+/// One alert's lifetime, for the end-of-run summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertRecord {
+    /// When the alert fired.
+    pub fired_at: SimTime,
+    /// When it resolved (`None` = still firing at end of run).
+    pub resolved_at: Option<SimTime>,
+    /// `None` = cluster-wide.
+    pub scope: Option<ModelFamily>,
+    /// Severity tier.
+    pub severity: AlertSeverity,
+    /// Short-window burn rate at firing time.
+    pub burn_at_fire: f64,
+}
+
+/// End-of-run telemetry summary, attached to `RunOutcome`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Full windows emitted (pages rendered).
+    pub windows: u64,
+    /// Alerts fired across all rules and scopes.
+    pub alerts_fired: u64,
+    /// Alerts resolved.
+    pub alerts_resolved: u64,
+    /// Highest short-window burn rate observed anywhere.
+    pub peak_burn: f64,
+    /// Every alert's lifetime, in firing order.
+    pub alerts: Vec<AlertRecord>,
+    /// Whether writing the exposition file failed (sticky).
+    pub io_error: bool,
+    /// Where the exposition pages went, if anywhere.
+    pub expo_path: Option<PathBuf>,
+}
+
+/// The live telemetry plane threaded through `ServingSystem`.
+#[derive(Debug)]
+pub struct TelemetryRuntime {
+    cfg: TelemetryConfig,
+    registry: Registry,
+    burn: BurnEngine,
+    dashboard: Dashboard,
+    expo: Option<std::io::BufWriter<std::fs::File>>,
+    http: Option<HttpHandle>,
+    io_error: bool,
+    next_step_end: SimTime,
+    next_window_end: SimTime,
+    windows: u64,
+    alerts: Vec<AlertRecord>,
+}
+
+impl TelemetryRuntime {
+    /// Builds the runtime: opens the exposition file and binds the HTTP
+    /// listener if configured. I/O failures are sticky-recorded, never
+    /// fatal — telemetry must not take down a run.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        let registry = Registry::new(cfg.window, cfg.step, cfg.sketch_alpha);
+        let burn = BurnEngine::new(cfg.objective, cfg.rules.clone(), registry.step());
+        let mut io_error = false;
+        let expo = cfg
+            .expo_path
+            .as_ref()
+            .and_then(|path| match std::fs::File::create(path) {
+                Ok(f) => Some(std::io::BufWriter::new(f)),
+                Err(_) => {
+                    io_error = true;
+                    None
+                }
+            });
+        let http = cfg
+            .http_port
+            .and_then(|port| match HttpHandle::spawn(port) {
+                Ok(h) => Some(h),
+                Err(_) => {
+                    io_error = true;
+                    None
+                }
+            });
+        let step = registry.step();
+        let window = cfg.window.max(step);
+        TelemetryRuntime {
+            cfg,
+            registry,
+            burn,
+            dashboard: Dashboard::new(),
+            expo,
+            http,
+            io_error,
+            next_step_end: step,
+            next_window_end: window,
+            windows: 0,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// The bound scrape address, when the HTTP listener is up.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(|h| h.addr())
+    }
+
+    /// Records a query arrival.
+    #[inline]
+    pub fn on_arrival(&mut self, family: ModelFamily) {
+        self.registry.on_arrival(family);
+    }
+
+    /// Records a served query.
+    #[inline]
+    pub fn on_served(
+        &mut self,
+        family: ModelFamily,
+        accuracy: f64,
+        on_time: bool,
+        latency: SimTime,
+    ) {
+        self.registry.on_served(family, accuracy, on_time, latency);
+    }
+
+    /// Records a dropped query.
+    #[inline]
+    pub fn on_dropped(&mut self, family: ModelFamily) {
+        self.registry.on_dropped(family);
+    }
+
+    /// Records one self-profiled control-plane phase execution.
+    #[inline]
+    pub fn on_phase(&mut self, phase: Phase, wall_nanos: u64) {
+        self.registry.on_phase(phase, wall_nanos);
+    }
+
+    /// Counts a phase invocation without a duration (sampled profiling).
+    #[inline]
+    pub fn on_phase_call(&mut self, phase: Phase) {
+        self.registry.on_phase_call(phase);
+    }
+
+    /// Adds pre-scaled phase wall time (sampled profiling).
+    #[inline]
+    pub fn on_phase_nanos(&mut self, phase: Phase, wall_nanos: u64) {
+        self.registry.on_phase_nanos(phase, wall_nanos);
+    }
+
+    /// Records a plan application.
+    #[inline]
+    pub fn on_reallocation(&mut self) {
+        self.registry.on_reallocation();
+    }
+
+    /// The monitoring-tick driver: seals a step when one is due, runs
+    /// the burn engine, and emits a window (page + dashboard frame) when
+    /// one closes. Returns the alert transitions this tick caused — the
+    /// engine turns them into trace events.
+    pub fn tick(&mut self, now: SimTime, devices: &[DeviceSample]) -> Vec<AlertTransition> {
+        if now < self.next_step_end {
+            return Vec::new();
+        }
+        let flows = self.registry.seal_step(now, devices);
+        self.next_step_end = now + self.registry.step();
+        let transitions = self.burn.push_step(now, &flows);
+        self.record_transitions(&transitions);
+        if now >= self.next_window_end {
+            self.emit_window();
+            self.next_window_end = now + self.cfg.window;
+        }
+        transitions
+    }
+
+    fn record_transitions(&mut self, transitions: &[AlertTransition]) {
+        for tr in transitions {
+            if tr.fired {
+                self.alerts.push(AlertRecord {
+                    fired_at: tr.at,
+                    resolved_at: None,
+                    scope: tr.scope,
+                    severity: tr.severity,
+                    burn_at_fire: tr.burn,
+                });
+            } else if let Some(open) = self.alerts.iter_mut().rev().find(|a| {
+                a.resolved_at.is_none() && a.scope == tr.scope && a.severity == tr.severity
+            }) {
+                open.resolved_at = Some(tr.at);
+            }
+        }
+    }
+
+    fn emit_window(&mut self) {
+        let Some(view) = self.registry.window() else {
+            return;
+        };
+        self.windows += 1;
+        let page = render_page(self.windows, &self.registry, &self.burn, &view);
+        if let Some(writer) = self.expo.as_mut() {
+            if writer.write_all(page.as_bytes()).is_err() {
+                self.io_error = true;
+                self.expo = None;
+            }
+        }
+        if let Some(http) = self.http.as_ref() {
+            http.publish(&page);
+        }
+        if self.cfg.live {
+            let frame = self.dashboard.render(&self.registry, &self.burn, &view);
+            let mut err = std::io::stderr();
+            let _ = err.write_all(frame.as_bytes());
+            let _ = err.flush();
+        }
+    }
+
+    /// Finalizes the run: seals the tail, emits a last window, flushes
+    /// the exposition file and returns the summary.
+    pub fn finish(&mut self, now: SimTime, devices: &[DeviceSample]) -> TelemetrySummary {
+        let flows = self.registry.seal_step(now, devices);
+        let transitions = self.burn.push_step(now, &flows);
+        self.record_transitions(&transitions);
+        self.emit_window();
+        if let Some(writer) = self.expo.as_mut() {
+            if writer.flush().is_err() {
+                self.io_error = true;
+            }
+        }
+        TelemetrySummary {
+            windows: self.windows,
+            alerts_fired: self.burn.fired_total(AlertSeverity::Page)
+                + self.burn.fired_total(AlertSeverity::Ticket),
+            alerts_resolved: self.burn.resolved_total(AlertSeverity::Page)
+                + self.burn.resolved_total(AlertSeverity::Ticket),
+            peak_burn: self.burn.peak_burn(),
+            alerts: self.alerts.clone(),
+            io_error: self.io_error,
+            expo_path: self.cfg.expo_path.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devs() -> Vec<DeviceSample> {
+        vec![DeviceSample {
+            queue_depth: 1,
+            up: true,
+            busy: SimTime::from_millis(100),
+            batches: 1,
+            queries: 4,
+        }]
+    }
+
+    #[test]
+    fn off_cadence_ticks_do_not_seal() {
+        let mut rt = TelemetryRuntime::new(TelemetryConfig::default());
+        assert!(rt.tick(SimTime::from_millis(500), &devs()).is_empty());
+        rt.on_arrival(ModelFamily::ResNet);
+        // The first due tick seals everything accumulated so far.
+        rt.tick(SimTime::from_secs(1), &devs());
+        assert_eq!(rt.registry.totals()[ModelFamily::ResNet.index()].arrived, 1);
+    }
+
+    #[test]
+    fn windows_and_alerts_reach_the_summary() {
+        let cfg = TelemetryConfig {
+            window: SimTime::from_secs(2),
+            step: SimTime::from_secs(1),
+            objective: 0.9,
+            rules: vec![BurnRule {
+                severity: AlertSeverity::Page,
+                long: SimTime::from_secs(2),
+                short: SimTime::from_secs(1),
+                factor: 3.0,
+            }],
+            ..Default::default()
+        };
+        let mut rt = TelemetryRuntime::new(cfg);
+        let mut fired = 0;
+        for s in 1..=6u64 {
+            for _ in 0..10 {
+                rt.on_arrival(ModelFamily::Bert);
+                if s == 3 || s == 4 {
+                    rt.on_dropped(ModelFamily::Bert);
+                } else {
+                    rt.on_served(ModelFamily::Bert, 0.9, true, SimTime::from_millis(20));
+                }
+            }
+            fired += rt
+                .tick(SimTime::from_secs(s), &devs())
+                .iter()
+                .filter(|t| t.fired)
+                .count();
+        }
+        let summary = rt.finish(SimTime::from_secs(7), &devs());
+        assert!(fired >= 1, "outage should fire");
+        assert_eq!(summary.alerts_fired as usize, summary.alerts.len());
+        assert!(summary.alerts_resolved >= 1, "recovery should resolve");
+        assert!(summary.peak_burn >= 3.0);
+        assert!(summary.windows >= 2);
+        assert!(!summary.io_error);
+        assert!(summary
+            .alerts
+            .iter()
+            .any(|a| a.resolved_at.is_some() && a.scope == Some(ModelFamily::Bert)));
+    }
+
+    #[test]
+    fn exposition_file_is_written_and_valid() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("proteus_telemetry_runtime_test.prom");
+        let _ = std::fs::remove_file(&path);
+        let cfg = TelemetryConfig {
+            window: SimTime::from_secs(2),
+            expo_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let mut rt = TelemetryRuntime::new(cfg);
+        for s in 1..=5u64 {
+            rt.on_arrival(ModelFamily::ResNet);
+            rt.on_served(ModelFamily::ResNet, 0.95, true, SimTime::from_millis(35));
+            rt.tick(SimTime::from_secs(s), &devs());
+        }
+        let summary = rt.finish(SimTime::from_secs(6), &devs());
+        assert!(summary.windows >= 2);
+        assert!(!summary.io_error);
+        let text = std::fs::read_to_string(&path).expect("exposition file");
+        let stats = crate::validate::validate(&text).expect("valid exposition");
+        assert_eq!(stats.pages as u64, summary.windows);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,308 @@
+//! A DDSketch-style mergeable quantile sketch with a relative-error
+//! guarantee and fixed memory.
+//!
+//! Values are bucketed on a logarithmic grid: bucket `k` covers
+//! `(γ^(k-1), γ^k]` with `γ = (1+α)/(1-α)`. Reporting the multiplicative
+//! midpoint `γ^k·2/(1+γ)` of the bucket containing the requested rank
+//! bounds the relative error by `α` — independent of the distribution —
+//! as long as the bucket was never collapsed. When the grid would exceed
+//! `max_buckets`, the two *lowest* buckets are merged, so the guarantee
+//! is retained for upper quantiles (the ones SLOs care about) and
+//! memory stays bounded.
+
+/// Values at or below this threshold land in the dedicated zero bucket
+/// (the logarithmic grid cannot represent zero).
+const MIN_TRACKABLE: f64 = 1e-12;
+
+/// Error merging two sketches with different grids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchMismatch;
+
+impl std::fmt::Display for SketchMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot merge quantile sketches with different relative-error bounds")
+    }
+}
+
+impl std::error::Error for SketchMismatch {}
+
+/// A mergeable, relative-error-bounded quantile sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    ln_gamma: f64,
+    max_buckets: usize,
+    /// Grid key of `buckets[0]`.
+    min_key: i64,
+    buckets: Vec<u64>,
+    /// Values `<= MIN_TRACKABLE` (including zero).
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with relative-error bound `alpha` (clamped to
+    /// `[1e-4, 0.5)`) and at most `max_buckets` grid buckets.
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        let alpha = alpha.clamp(1e-4, 0.499);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            max_buckets: max_buckets.max(2),
+            min_key: 0,
+            buckets: Vec::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Grid buckets currently allocated (bounded by `max_buckets`).
+    pub fn buckets_used(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn key(&self, v: f64) -> i64 {
+        // v > MIN_TRACKABLE here, so ln is finite.
+        (v.ln() / self.ln_gamma).ceil() as i64
+    }
+
+    fn bucket_value(&self, key: i64) -> f64 {
+        let gamma = self.ln_gamma.exp();
+        (key as f64 * self.ln_gamma).exp() * 2.0 / (1.0 + gamma)
+    }
+
+    /// Records one value. Non-finite and negative values are clamped into
+    /// the zero bucket rather than rejected (telemetry must not panic).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.count += 1;
+        self.sum += v.max(0.0);
+        self.min = self.min.min(v.max(0.0));
+        self.max = self.max.max(v.max(0.0));
+        if v <= MIN_TRACKABLE {
+            self.zero_count += 1;
+            return;
+        }
+        let k = self.key(v);
+        self.add_at_key(k, 1);
+    }
+
+    fn add_at_key(&mut self, key: i64, n: u64) {
+        if self.buckets.is_empty() {
+            self.min_key = key;
+            self.buckets.push(n);
+            return;
+        }
+        if key < self.min_key {
+            if self.buckets.len() + (self.min_key - key) as usize > self.max_buckets {
+                // At capacity below: fold into the lowest kept bucket.
+                // Only the bottom of the distribution loses its bound.
+                self.buckets[0] += n;
+                return;
+            }
+            let grow = (self.min_key - key) as usize;
+            for _ in 0..grow {
+                self.buckets.insert(0, 0);
+            }
+            self.min_key = key;
+            self.buckets[0] += n;
+            return;
+        }
+        let idx = (key - self.min_key) as usize;
+        if idx >= self.buckets.len() {
+            if idx >= self.max_buckets {
+                // The new top bucket pushes the grid past capacity:
+                // everything below the new bottom folds into the lowest
+                // kept bucket (clamping only the low tail).
+                let new_min_key = key - self.max_buckets as i64 + 1;
+                let drop = ((new_min_key - self.min_key) as usize).min(self.buckets.len());
+                let folded: u64 = self.buckets.drain(..drop).sum();
+                self.min_key = new_min_key;
+                match self.buckets.first_mut() {
+                    Some(first) => *first += folded,
+                    None => self.buckets.push(folded),
+                }
+                let idx = (key - self.min_key) as usize;
+                if idx >= self.buckets.len() {
+                    self.buckets.resize(idx + 1, 0);
+                }
+                self.buckets[idx] += n;
+                return;
+            }
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0,1]`), or `None` if empty.
+    ///
+    /// Uses the same rank convention as
+    /// `proteus_metrics::LatencyHistogram::percentile`: the smallest
+    /// recorded value whose cumulative count reaches `ceil(q·count)`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return Some(self.min.max(0.0));
+        }
+        let mut cum = self.zero_count;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let v = self.bucket_value(self.min_key + i as i64);
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another sketch into this one (bucket-wise addition).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the sketches were built with different `alpha` (their
+    /// grids are incompatible).
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<(), SketchMismatch> {
+        if (self.alpha - other.alpha).abs() > 1e-12 {
+            return Err(SketchMismatch);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            if n > 0 {
+                self.add_at_key(other.min_key + i as i64, n);
+            }
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(sketch: &QuantileSketch, sorted: &[f64], q: f64) {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let est = sketch.quantile(q).unwrap();
+        let tol = sketch.alpha() * exact + 1e-9;
+        assert!(
+            (est - exact).abs() <= tol,
+            "q={q}: est {est} vs exact {exact} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new(0.01, 1024);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_value_is_every_quantile() {
+        let mut s = QuantileSketch::new(0.01, 1024);
+        s.record(0.125);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((est - 0.125).abs() <= 0.01 * 0.125 + 1e-12, "q={q}: {est}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_values_go_to_the_zero_bucket() {
+        let mut s = QuantileSketch::new(0.01, 1024);
+        s.record(0.0);
+        s.record(-3.0);
+        s.record(f64::NAN);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn uniform_grid_quantiles_within_alpha() {
+        let mut s = QuantileSketch::new(0.02, 4096);
+        let values: Vec<f64> = (1..=5000).map(|i| i as f64 * 1e-3).collect();
+        for &v in &values {
+            s.record(v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_close(&s, &values, q);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_and_upper_quantiles_survive_collapse() {
+        let mut s = QuantileSketch::new(0.01, 64);
+        // Values spanning 12 decades need far more than 64 buckets.
+        let mut values = Vec::new();
+        let mut x = 1e-6f64;
+        while x < 1e6 {
+            values.push(x);
+            s.record(x);
+            x *= 1.19;
+        }
+        assert!(s.buckets_used() <= 64);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // The top of the distribution is still accurate.
+        for q in [0.95, 0.99, 1.0] {
+            assert_close(&s, &values, q);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = QuantileSketch::new(0.01, 2048);
+        let mut b = QuantileSketch::new(0.01, 2048);
+        let mut whole = QuantileSketch::new(0.01, 2048);
+        for i in 1..=1000u64 {
+            let v = (i as f64).sqrt() * 0.01;
+            whole.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileSketch::new(0.01, 64);
+        let b = QuantileSketch::new(0.05, 64);
+        assert_eq!(a.merge(&b), Err(SketchMismatch));
+    }
+}

@@ -1,0 +1,446 @@
+//! A dependency-free validator for the Prometheus text format 0.0.4
+//! pages this crate emits — a mini `promtool check metrics`.
+//!
+//! Checks, per page (pages are split on `# page` markers):
+//!
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`;
+//! * label values use only the legal escapes (`\\`, `\"`, `\n`) and are
+//!   properly terminated;
+//! * every sample's metric has exactly one `# HELP` and one `# TYPE`
+//!   line, both appearing before the first sample (`_sum` / `_count` /
+//!   `_bucket` children resolve to their summary/histogram parent);
+//! * `# TYPE` declares a known type;
+//! * sample values parse as floats (`NaN` / `+Inf` / `-Inf` included);
+//! * `quantile` label values are numbers in `[0, 1]`.
+//!
+//! Across pages: every `counter` series is monotonically non-decreasing.
+
+use std::collections::HashMap;
+
+/// One validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based page number.
+    pub page: usize,
+    /// 1-based line number within the whole document.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page {} line {}: {}", self.page, self.line, self.message)
+    }
+}
+
+/// Summary statistics of a successful validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Pages seen.
+    pub pages: usize,
+    /// Total samples across pages.
+    pub samples: usize,
+    /// Distinct series (name + label set).
+    pub series: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf" | "Inf") || v.parse::<f64>().is_ok()
+}
+
+/// A parsed sample line.
+struct Sample {
+    name: String,
+    /// Sorted `(label, unescaped value)` pairs.
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{l="v",…} value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or("sample has no value")?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    let mut labels = Vec::new();
+    let mut pos = name_end;
+    if bytes[pos] == b'{' {
+        pos += 1;
+        loop {
+            if pos >= bytes.len() {
+                return Err("unterminated label set".into());
+            }
+            if bytes[pos] == b'}' {
+                pos += 1;
+                break;
+            }
+            let key_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'=' {
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err("label without `=`".into());
+            }
+            let key = &line[key_start..pos];
+            if !valid_label_name(key) {
+                return Err(format!("invalid label name `{key}`"));
+            }
+            pos += 1; // '='
+            if pos >= bytes.len() || bytes[pos] != b'"' {
+                return Err(format!("label `{key}` value is not quoted"));
+            }
+            pos += 1;
+            let mut value = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => return Err(format!("label `{key}` value is unterminated")),
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => match bytes.get(pos + 1) {
+                        Some(b'\\') => {
+                            value.push('\\');
+                            pos += 2;
+                        }
+                        Some(b'"') => {
+                            value.push('"');
+                            pos += 2;
+                        }
+                        Some(b'n') => {
+                            value.push('\n');
+                            pos += 2;
+                        }
+                        other => {
+                            return Err(format!(
+                                "label `{key}` has an illegal escape `\\{}`",
+                                other.map(|&b| b as char).unwrap_or('?')
+                            ))
+                        }
+                    },
+                    Some(&b) => {
+                        value.push(b as char);
+                        pos += 1;
+                    }
+                }
+            }
+            if key == "quantile" {
+                match value.parse::<f64>() {
+                    Ok(q) if (0.0..=1.0).contains(&q) => {}
+                    _ => return Err(format!("quantile label `{value}` is not in [0,1]")),
+                }
+            }
+            labels.push((key.to_string(), value));
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {}
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}` after label, got {:?}",
+                        other.map(|&b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+    let rest = line[pos..].trim_start();
+    let mut parts = rest.split_whitespace();
+    let value = parts.next().ok_or("sample has no value")?;
+    if !valid_value(value) {
+        return Err(format!("invalid sample value `{value}`"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("invalid timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after sample".into());
+    }
+    labels.sort();
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value: value.parse().unwrap_or(f64::NAN),
+    })
+}
+
+/// Validates a whole document of one or more exposition pages.
+///
+/// # Errors
+///
+/// Returns every violation found (never an empty vector).
+pub fn validate(text: &str) -> Result<Stats, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let mut page_no = 0usize;
+    // Per-page state.
+    let mut help: HashMap<String, usize> = HashMap::new();
+    let mut types: HashMap<String, (String, usize)> = HashMap::new();
+    // Cross-page state.
+    let mut counters: HashMap<String, f64> = HashMap::new();
+    let mut series: HashMap<String, ()> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("# page") {
+            page_no += 1;
+            help.clear();
+            types.clear();
+            continue;
+        }
+        if page_no == 0 {
+            // Content before any `# page` marker: a bare single page.
+            page_no = 1;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_metric_name(name) {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("HELP for invalid metric name `{name}`"),
+                });
+            }
+            if help.insert(name.to_string(), lineno).is_some() {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("duplicate HELP for `{name}` in one page"),
+                });
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("TYPE for invalid metric name `{name}`"),
+                });
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("unknown TYPE `{kind}` for `{name}`"),
+                });
+            }
+            if !help.contains_key(name) {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("TYPE without preceding HELP for `{name}`"),
+                });
+            }
+            if types
+                .insert(name.to_string(), (kind.to_string(), lineno))
+                .is_some()
+            {
+                violations.push(Violation {
+                    page: page_no,
+                    line: lineno,
+                    message: format!("duplicate TYPE for `{name}` in one page"),
+                });
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // A sample line.
+        match parse_sample(line) {
+            Err(message) => violations.push(Violation {
+                page: page_no.max(1),
+                line: lineno,
+                message,
+            }),
+            Ok(sample) => {
+                samples += 1;
+                // Resolve the declaring metric: exact, else summary /
+                // histogram child.
+                let (base, kind) = match types.get(&sample.name) {
+                    Some((kind, _)) => (sample.name.clone(), kind.clone()),
+                    None => {
+                        let parent = sample
+                            .name
+                            .strip_suffix("_sum")
+                            .or_else(|| sample.name.strip_suffix("_count"))
+                            .or_else(|| sample.name.strip_suffix("_bucket"));
+                        match parent.and_then(|p| types.get(p).map(|(k, _)| (p, k))) {
+                            Some((p, k)) if k == "summary" || k == "histogram" => {
+                                (p.to_string(), k.clone())
+                            }
+                            _ => {
+                                violations.push(Violation {
+                                    page: page_no.max(1),
+                                    line: lineno,
+                                    message: format!(
+                                        "sample `{}` has no TYPE declaration in this page",
+                                        sample.name
+                                    ),
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                };
+                if !help.contains_key(&base) {
+                    violations.push(Violation {
+                        page: page_no.max(1),
+                        line: lineno,
+                        message: format!("sample `{}` has no HELP for `{base}`", sample.name),
+                    });
+                }
+                let mut key = sample.name.clone();
+                for (k, v) in &sample.labels {
+                    key.push('\u{1}');
+                    key.push_str(k);
+                    key.push('\u{2}');
+                    key.push_str(v);
+                }
+                series.insert(key.clone(), ());
+                if kind == "counter" {
+                    if sample.value < 0.0 || sample.value.is_nan() {
+                        violations.push(Violation {
+                            page: page_no.max(1),
+                            line: lineno,
+                            message: format!(
+                                "counter `{}` has a negative or NaN value",
+                                sample.name
+                            ),
+                        });
+                    }
+                    if let Some(prev) = counters.insert(key, sample.value) {
+                        if sample.value < prev {
+                            violations.push(Violation {
+                                page: page_no.max(1),
+                                line: lineno,
+                                message: format!(
+                                    "counter `{}` decreased across windows ({prev} -> {})",
+                                    sample.name, sample.value
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(Stats {
+            pages: page_no.max(usize::from(samples > 0)),
+            samples,
+            series: series.len(),
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_page() {
+        let doc = "# page 1 sim_seconds 10\n\
+                   # HELP m_total things\n\
+                   # TYPE m_total counter\n\
+                   m_total{family=\"ResNet\"} 3\n";
+        let stats = validate(doc).unwrap();
+        assert_eq!(stats.pages, 1);
+        assert_eq!(stats.samples, 1);
+    }
+
+    #[test]
+    fn rejects_counter_decrease_across_pages() {
+        let doc = "# page 1 sim_seconds 10\n\
+                   # HELP m_total things\n\
+                   # TYPE m_total counter\n\
+                   m_total 3\n\
+                   # page 2 sim_seconds 20\n\
+                   # HELP m_total things\n\
+                   # TYPE m_total counter\n\
+                   m_total 2\n";
+        let errs = validate(doc).unwrap_err();
+        assert!(
+            errs.iter().any(|v| v.message.contains("decreased")),
+            "{errs:?}"
+        );
+        assert_eq!(errs[0].page, 2);
+    }
+
+    #[test]
+    fn rejects_bad_names_escapes_and_missing_type() {
+        for (doc, needle) in [
+            (
+                "# HELP 9bad x\n# TYPE 9bad gauge\n9bad 1\n",
+                "invalid metric name",
+            ),
+            (
+                "# HELP m x\n# TYPE m gauge\nm{l=\"a\\q\"} 1\n",
+                "illegal escape",
+            ),
+            ("m 1\n", "no TYPE"),
+            ("# HELP m x\n# TYPE m widget\nm 1\n", "unknown TYPE"),
+            (
+                "# HELP m x\n# TYPE m gauge\nm{quantile=\"1.5\"} 1\n",
+                "not in [0,1]",
+            ),
+            (
+                "# HELP m x\n# TYPE m gauge\nm{l=\"open} 1\n",
+                "unterminated",
+            ),
+            ("# TYPE m gauge\nm 1\n", "without preceding HELP"),
+        ] {
+            let errs = validate(doc).unwrap_err();
+            assert!(
+                errs.iter().any(|v| v.message.contains(needle)),
+                "{doc:?} -> {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let v = crate::expose::escape_label("a\\b \"c\"\nd");
+        let doc = format!("# HELP m x\n# TYPE m gauge\nm{{l=\"{v}\"}} 1\n");
+        validate(&doc).unwrap();
+    }
+}

@@ -101,6 +101,35 @@ impl ReplanCause {
     }
 }
 
+/// Severity tier of an SLO burn-rate alert (Google SRE style: a fast-burn
+/// rule pages, a slow-burn rule opens a ticket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertSeverity {
+    /// Fast burn: the error budget is being consumed quickly enough that a
+    /// human should look immediately.
+    Page,
+    /// Slow burn: sustained budget consumption worth investigating.
+    Ticket,
+}
+
+impl AlertSeverity {
+    /// Every severity, in serialization order.
+    pub const ALL: [AlertSeverity; 2] = [AlertSeverity::Page, AlertSeverity::Ticket];
+
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertSeverity::Page => "page",
+            AlertSeverity::Ticket => "ticket",
+        }
+    }
+
+    /// Parses a wire label back into a severity.
+    pub fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
 /// One timestamped flight-recorder event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -294,6 +323,36 @@ pub enum EventKind {
         /// The worker.
         device: DeviceId,
     },
+    /// The telemetry plane's burn-rate engine fired an SLO alert: the
+    /// error budget is burning faster than the rule's threshold over both
+    /// of its windows.
+    AlertFired {
+        /// The family the alert is scoped to (`None` = cluster-wide).
+        scope: Option<ModelFamily>,
+        /// The firing rule's severity tier.
+        severity: AlertSeverity,
+        /// Burn rate over the short window at firing time (multiples of
+        /// the error budget).
+        burn: f64,
+        /// The rule's long window, in sim seconds.
+        long_secs: f64,
+        /// The rule's short window, in sim seconds.
+        short_secs: f64,
+    },
+    /// A previously fired burn-rate alert dropped back below threshold
+    /// over its short window.
+    AlertResolved {
+        /// The family the alert is scoped to (`None` = cluster-wide).
+        scope: Option<ModelFamily>,
+        /// The resolving rule's severity tier.
+        severity: AlertSeverity,
+        /// Burn rate over the short window at resolution time.
+        burn: f64,
+        /// The rule's long window, in sim seconds.
+        long_secs: f64,
+        /// The rule's short window, in sim seconds.
+        short_secs: f64,
+    },
 }
 
 impl EventKind {
@@ -322,6 +381,8 @@ impl EventKind {
             EventKind::LoadFailed { .. } => "load_failed",
             EventKind::StragglerStarted { .. } => "straggler_started",
             EventKind::StragglerEnded { .. } => "straggler_ended",
+            EventKind::AlertFired { .. } => "alert_fired",
+            EventKind::AlertResolved { .. } => "alert_resolved",
         }
     }
 
@@ -363,8 +424,12 @@ mod tests {
         for c in ReplanCause::ALL {
             assert_eq!(ReplanCause::parse(c.label()), Some(c));
         }
+        for s in AlertSeverity::ALL {
+            assert_eq!(AlertSeverity::parse(s.label()), Some(s));
+        }
         assert_eq!(DropReason::parse("nope"), None);
         assert_eq!(ReplanCause::parse("nope"), None);
+        assert_eq!(AlertSeverity::parse("nope"), None);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use proteus_profiler::{DeviceId, ModelFamily, VariantId};
 use proteus_sim::SimTime;
 
-use crate::event::{DropReason, EventKind, ReplanCause, TraceEvent};
+use crate::event::{AlertSeverity, DropReason, EventKind, ReplanCause, TraceEvent};
 
 /// Serializes one event as a single JSON line (no trailing newline).
 pub fn to_jsonl(event: &TraceEvent) -> String {
@@ -160,6 +160,33 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
         }
         EventKind::StragglerEnded { device } => {
             let _ = write!(s, ",\"d\":{}", device.0);
+        }
+        EventKind::AlertFired {
+            scope,
+            severity,
+            burn,
+            long_secs,
+            short_secs,
+        }
+        | EventKind::AlertResolved {
+            scope,
+            severity,
+            burn,
+            long_secs,
+            short_secs,
+        } => {
+            let _ = write!(s, ",\"scope\":");
+            match scope {
+                Some(f) => {
+                    let _ = write!(s, "\"{}\"", f.label());
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(
+                s,
+                ",\"severity\":\"{}\",\"burn\":{burn},\"long_s\":{long_secs},\"short_s\":{short_secs}",
+                severity.label()
+            );
         }
     }
     s.push('}');
@@ -379,6 +406,46 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
             slowdown: float("slowdown")?,
         },
         "straggler_ended" => EventKind::StragglerEnded { device: device()? },
+        "alert_fired" | "alert_resolved" => {
+            let scope = match get("scope")? {
+                Val::Null => None,
+                Val::Str(_) => Some(family("scope")?),
+                other => {
+                    return Err(ParseEventError {
+                        line: 0,
+                        reason: format!("`scope` is not a string or null: {other:?}"),
+                    })
+                }
+            };
+            let severity =
+                AlertSeverity::parse(str_("severity")?).ok_or_else(|| ParseEventError {
+                    line: 0,
+                    reason: format!(
+                        "unknown alert severity `{}`",
+                        str_("severity").unwrap_or("?")
+                    ),
+                })?;
+            let burn = float("burn")?;
+            let long_secs = float("long_s")?;
+            let short_secs = float("short_s")?;
+            if ev == "alert_fired" {
+                EventKind::AlertFired {
+                    scope,
+                    severity,
+                    burn,
+                    long_secs,
+                    short_secs,
+                }
+            } else {
+                EventKind::AlertResolved {
+                    scope,
+                    severity,
+                    burn,
+                    long_secs,
+                    short_secs,
+                }
+            }
+        }
         other => {
             return Err(ParseEventError {
                 line: 0,
@@ -697,6 +764,27 @@ mod tests {
             EventKind::Dropped {
                 query: 14,
                 reason: DropReason::DeviceFailed,
+            },
+            EventKind::AlertFired {
+                scope: Some(ModelFamily::ResNet),
+                severity: AlertSeverity::Page,
+                burn: 14.62,
+                long_secs: 300.0,
+                short_secs: 60.0,
+            },
+            EventKind::AlertFired {
+                scope: None,
+                severity: AlertSeverity::Ticket,
+                burn: 6.0078125,
+                long_secs: 900.0,
+                short_secs: 300.0,
+            },
+            EventKind::AlertResolved {
+                scope: None,
+                severity: AlertSeverity::Page,
+                burn: 0.25,
+                long_secs: 300.0,
+                short_secs: 60.0,
             },
         ];
         kinds

@@ -993,12 +993,18 @@ impl Engine<'_> {
                 }
                 return;
             };
-            let profile = self.profiles[device]
-                // lint:allow(no-panic) — the cache is refreshed by
-                // set_worker_variant at every retarget, and ProfileStore::build
-                // profiles every (variant, device type) pair; a miss with a
-                // hosted variant is a construction bug.
-                .expect("every (variant, device type) pair is profiled");
+            // The cache is refreshed by set_worker_variant at every retarget
+            // and ProfileStore::build profiles every (variant, device type)
+            // pair, so a miss with a hosted variant is a construction bug;
+            // degrade to the typed NoHost drop path instead of panicking.
+            let Some(profile) = self.profiles[device] else {
+                let orphans = self.workers[device].drain_queue();
+                self.cancel_timer(device, sim);
+                for q in orphans {
+                    self.drop_query(now, &q, DropReason::NoHost);
+                }
+                return;
+            };
             let decide_t0 = self.phase_start(Phase::BatchDecide);
             let decision = self.workers[device].decide(now, profile, &self.lat_tables[device]);
             self.phase_end(Phase::BatchDecide, decide_t0);
@@ -1726,9 +1732,12 @@ impl Actor for Engine<'_> {
             }
             Event::ProvisionReady(device_type) => {
                 let id = self.cluster.add(device_type);
-                // lint:allow(no-panic) — Cluster::add returned this id on
-                // the previous line; it cannot be out of range.
-                let spec = *self.cluster.device(id).expect("just added");
+                // Cluster::add returned this id on the previous line, so the
+                // lookup cannot miss; if it ever does, skip the provision
+                // instead of panicking mid-run.
+                let Some(&spec) = self.cluster.device(id) else {
+                    return;
+                };
                 self.workers.push(Worker::new(
                     spec,
                     self.batching_proto.clone_box(),

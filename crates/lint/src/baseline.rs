@@ -1,0 +1,130 @@
+//! The committed allowlist baseline (`crates/lint/baseline.txt`).
+//!
+//! Format: `<rule> <count> <path>` per suppressed file, sorted by (rule,
+//! path) so `--write-baseline` output is byte-stable across runs and
+//! platforms. `--deny-allowlist-growth` fails CI when any (rule, path)
+//! count rises above the committed value; shrinking is always allowed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::Report;
+
+/// Per-(rule, file) allow counts, the unit the baseline tracks.
+pub fn allow_counts(report: &Report) -> BTreeMap<(String, String), usize> {
+    let mut counts = BTreeMap::new();
+    for a in &report.allows {
+        *counts
+            .entry((a.rule.to_string(), a.rel.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Renders the baseline file from a scan. Deterministic: BTreeMap order
+/// (rule, then path).
+pub fn render(report: &Report) -> String {
+    let mut out = String::from(
+        "# proteus-lint allowlist baseline: `<rule> <count> <path>` per suppressed file.\n\
+         # Regenerate with `cargo run -p proteus-lint -- --write-baseline`.\n\
+         # CI runs `--deny-allowlist-growth`: counts above these fail the build.\n",
+    );
+    for ((rule, rel), count) in allow_counts(report) {
+        let _ = writeln!(out, "{rule} {count} {rel}");
+    }
+    out
+}
+
+/// Parses a baseline file into (rule, path) → count.
+pub fn parse(text: &str) -> BTreeMap<(String, String), usize> {
+    let mut counts = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        if let (Some(rule), Some(count), Some(rel)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.parse::<usize>() {
+                counts.insert((rule.to_string(), rel.to_string()), count);
+            }
+        }
+    }
+    counts
+}
+
+/// Growth violations versus the committed baseline: one message per
+/// (rule, path) whose current count exceeds the allowed count.
+pub fn growth(report: &Report, committed: &BTreeMap<(String, String), usize>) -> Vec<String> {
+    let mut msgs = Vec::new();
+    for ((rule, rel), count) in allow_counts(report) {
+        let allowed = committed
+            .get(&(rule.clone(), rel.clone()))
+            .copied()
+            .unwrap_or(0);
+        if count > allowed {
+            msgs.push(format!(
+                "{rel}: [allowlist-growth] {count} lint:allow({rule}) suppression(s), \
+                 baseline allows {allowed}"
+            ));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UsedAllow;
+
+    fn report_with(allows: &[(&'static str, &str)]) -> Report {
+        Report {
+            allows: allows
+                .iter()
+                .map(|(rule, rel)| UsedAllow {
+                    rule,
+                    rel: rel.to_string(),
+                    line: 1,
+                    reason: "r".into(),
+                })
+                .collect(),
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_and_sorts() {
+        let report = report_with(&[
+            ("wall-clock", "crates/core/src/system.rs"),
+            ("no-panic", "crates/solver/src/simplex.rs"),
+            ("wall-clock", "crates/core/src/system.rs"),
+        ]);
+        let text = render(&report);
+        // Sorted by rule first, then path.
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            lines,
+            [
+                "no-panic 1 crates/solver/src/simplex.rs",
+                "wall-clock 2 crates/core/src/system.rs",
+            ]
+        );
+        assert_eq!(parse(&text), allow_counts(&report));
+        // Render twice → identical bytes.
+        assert_eq!(text, render(&report));
+    }
+
+    #[test]
+    fn growth_flags_only_increases() {
+        let committed = parse("wall-clock 1 crates/core/src/system.rs\n");
+        let grown = report_with(&[
+            ("wall-clock", "crates/core/src/system.rs"),
+            ("wall-clock", "crates/core/src/system.rs"),
+        ]);
+        assert_eq!(growth(&grown, &committed).len(), 1);
+        let shrunk = report_with(&[]);
+        assert!(growth(&shrunk, &committed).is_empty());
+        let new_file = report_with(&[("no-panic", "crates/sim/src/x.rs")]);
+        assert_eq!(growth(&new_file, &committed).len(), 1);
+    }
+}

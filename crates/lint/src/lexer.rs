@@ -1,0 +1,449 @@
+//! Token-level lexer for the analyzer.
+//!
+//! Produces a flat token stream with line numbers plus the comment text per
+//! line (where `lint:allow` markers live). String, char and raw-string
+//! literal *contents* never become tokens, so `"=="` inside a message can't
+//! trip a rule; doc-comment markers are stripped from comment text.
+//!
+//! The lexer is deliberately small: it recognizes exactly the token shapes
+//! the parser subset needs (identifiers, numeric literals split into int vs
+//! float, lifetimes vs char literals, multi-char operators) and nothing
+//! more. It never fails — unknown bytes become single-char punctuation.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal (has `.`, exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String literal (contents blanked; text is `""`).
+    Str,
+    /// Char literal (contents blanked).
+    Char,
+    /// Lifetime like `'a`.
+    Lifetime,
+    /// Punctuation / operator, possibly multi-char (`::`, `==`, `=>` …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// The full lex of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// Concatenated comment text per 1-based line (index 0 unused).
+    pub comments: Vec<String>,
+    /// Number of source lines.
+    pub nlines: usize,
+}
+
+impl Lexed {
+    /// Comment text on 1-based `line`, or `""`.
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.comments.get(line).map_or("", |s| s.as_str())
+    }
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 20] = [
+    "<<=", ">>=", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "..",
+    "+=", "-=", "*=", "/=", "%=",
+];
+
+/// Lexes `source` into tokens and per-line comment text.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let nlines = source.lines().count().max(1);
+    let mut out = Lexed {
+        toks: Vec::new(),
+        comments: vec![String::new(); nlines + 2],
+        nlines,
+    };
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let push_comment = |out: &mut Lexed, line: usize, c: char| {
+        if let Some(slot) = out.comments.get_mut(line) {
+            slot.push(c);
+        }
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        // Comments.
+        if c == '/' && next == Some('/') {
+            i += 2;
+            // Strip doc markers so the comment text is text only.
+            while matches!(chars.get(i), Some('/' | '!')) {
+                i += 1;
+            }
+            while i < chars.len() && chars[i] != '\n' {
+                push_comment(&mut out, line, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    } else {
+                        push_comment(&mut out, line, chars[i]);
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // Raw string r"…" / r#"…"# (only when `r` doesn't continue an ident).
+        if c == 'r' && matches!(next, Some('"' | '#')) && !prev_is_ident(&chars, i) {
+            let mut hashes = 0usize;
+            let mut j = i + 1;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                let start_line = line;
+                j += 1;
+                while j < chars.len() {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if chars[j] == '"' && (0..hashes).all(|k| chars.get(j + 1 + k) == Some(&'#')) {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                && chars.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                let mut text = String::from("'");
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+                i = j;
+            } else {
+                // Skip the whole char literal.
+                i += 1;
+                if chars.get(i) == Some(&'\\') {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'\'') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            let mut text = String::new();
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let (tok, len) = lex_number(&chars, i, line);
+            out.toks.push(tok);
+            i += len;
+            continue;
+        }
+        // Multi-char punctuation, maximal munch.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oplen = op.chars().count();
+            if chars[i..].len() >= oplen && chars[i..i + oplen].iter().collect::<String>() == *op {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: op.to_string(),
+                    line,
+                });
+                i += oplen;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Lexes a number starting at `chars[i]`; returns the token and its length.
+fn lex_number(chars: &[char], i: usize, line: usize) -> (Tok, usize) {
+    let mut j = i;
+    let mut text = String::new();
+    let mut is_float = false;
+    let radix_prefix = chars[i] == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b'));
+    if radix_prefix {
+        text.push(chars[j]);
+        text.push(chars[j + 1]);
+        j += 2;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            text.push(chars[j]);
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Int,
+                text,
+                line,
+            },
+            j - i,
+        );
+    }
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            j += 1;
+        } else if c == '.' {
+            // `1..n` is a range, `1.max(2)` a method call — only a digit
+            // after the dot continues the float.
+            if chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                j += 1;
+            } else if chars.get(j + 1) == Some(&'.')
+                || chars
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_alphabetic() || *n == '_')
+            {
+                break;
+            } else {
+                // Trailing-dot float like `1.`.
+                is_float = true;
+                text.push(c);
+                j += 1;
+                break;
+            }
+        } else if c == 'e' || c == 'E' {
+            let sign = matches!(chars.get(j + 1), Some('+' | '-'));
+            let digit_at = if sign { j + 2 } else { j + 1 };
+            if chars.get(digit_at).is_some_and(|n| n.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                j += 1;
+                if sign {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        } else if c.is_alphabetic() {
+            // Suffix: u32, i64, f64, usize…
+            let mut suffix = String::new();
+            let mut k = j;
+            while k < chars.len() && (chars[k].is_ascii_alphanumeric() || chars[k] == '_') {
+                suffix.push(chars[k]);
+                k += 1;
+            }
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+            text.push_str(&suffix);
+            j = k;
+            break;
+        } else {
+            break;
+        }
+    }
+    (
+        Tok {
+            kind: if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            text,
+            line,
+        },
+        j - i,
+    )
+}
+
+/// Whether the char before index `i` continues an identifier (so the `r` in
+/// `var"` isn't misread as a raw-string prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_code_tokens() {
+        let l = lex("let x = \"a == 1.0\"; // x == 2.0");
+        assert!(l.toks.iter().all(|t| t.text != "1.0" && t.text != "2.0"));
+        assert!(l.comment_on(1).contains("x == 2.0"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let l = lex("let r = r#\"panic!(\"x\")\"#;");
+        assert!(!l.toks.iter().any(|t| t.text == "panic"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers_split_int_vs_float() {
+        let toks = kinds("1 1.5 1e-6 0x1F 1_000 2.0f64 3f64 1..4 1.max(2)");
+        let f: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(f, ["1.5", "1e-6", "2.0f64", "3f64"]);
+        assert!(toks.contains(&(TokKind::Int, "0x1F".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn multi_char_puncts_munch() {
+        let toks = kinds("a :: b == c => d != e");
+        let p: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(p, ["::", "==", "=>", "!="]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a /* one /* two */ still */ b\nc // tail");
+        assert_eq!(
+            l.toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        assert_eq!(l.toks[2].line, 2);
+        assert!(l.comment_on(1).contains("one"));
+        assert!(l.comment_on(2).contains("tail"));
+    }
+}

@@ -1,0 +1,299 @@
+//! proteus-lint v2: dependency-free semantic analysis for the Proteus
+//! workspace.
+//!
+//! The pipeline: [`lexer`] tokenizes each file; [`rules`] runs the lexical
+//! rule families and parses `lint:allow` annotations; [`parse`] builds a
+//! best-effort AST subset (fns, impls, use-trees, calls, panic/source
+//! sites); [`graph`] links it into a workspace call graph; [`taint`] runs
+//! the three dataflow passes (determinism taint, panic reachability,
+//! sim-time units); [`sarif`] renders SARIF 2.1.0 alongside the text
+//! report; [`baseline`] tracks the committed allowlist.
+//!
+//! Everything is deliberately over-approximate (no macro expansion, no
+//! type inference) and conservative: imprecision creates false positives,
+//! which are visible and suppressible with a reasoned `lint:allow` — never
+//! silent false negatives from a resolution the analysis got wrong.
+
+pub mod baseline;
+pub mod graph;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod sarif;
+pub mod taint;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use graph::Graph;
+use taint::AllowMap;
+
+/// Finding severity. Errors fail the build; notes are advisory context
+/// (panic sites outside the no-panic crates, slice indexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    Error,
+    Note,
+}
+
+/// One reported finding, optionally with a source→sink call chain.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+    pub level: Level,
+    /// Call-chain steps as (rel, line, description), sink/root first.
+    pub chain: Vec<(String, usize, String)>,
+}
+
+/// A `lint:allow` that suppressed at least one finding.
+#[derive(Debug, Clone)]
+pub struct UsedAllow {
+    pub rule: &'static str,
+    pub rel: String,
+    /// 1-based line of the allow comment.
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Full analysis result for a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Error-level findings; any of these fails the run.
+    pub violations: Vec<Finding>,
+    /// Advisory findings; reported (and exported to SARIF) but never fatal.
+    pub notes: Vec<Finding>,
+    /// Every used suppression, with its reason.
+    pub allows: Vec<UsedAllow>,
+    pub files_scanned: usize,
+}
+
+/// One input file: workspace-relative path plus source text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub rel: String,
+    pub text: String,
+}
+
+/// Interns a parsed rule name to its static registry entry.
+fn rule_static(name: &str) -> &'static str {
+    rules::RULES
+        .iter()
+        .map(|(n, _)| *n)
+        .find(|n| *n == name)
+        .unwrap_or("bad-allow")
+}
+
+/// Runs the full pipeline over `files` (the whole workspace, or a fixture
+/// corpus). Files outside every rule scope still feed the call graph —
+/// a taint chain may pass through them — but produce no lexical findings.
+pub fn analyze(files: &[SourceFile]) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut allow_map: AllowMap = BTreeMap::new();
+    let mut asts = Vec::with_capacity(files.len());
+    let mut lexical: Vec<Finding> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        let lexed = lexer::lex(&file.text);
+        let (allows, malformed) = rules::parse_allows(&file.rel, &lexed);
+        report.violations.extend(malformed);
+        allow_map.insert(file.rel.clone(), allows);
+        lexical.extend(rules::lexical_scan(&file.rel, &lexed));
+        asts.push(parse::parse(idx, &file.rel, &lexed));
+    }
+    for f in lexical {
+        let suppressed = allow_map
+            .get_mut(&f.rel)
+            .is_some_and(|a| a.try_suppress(f.rule, f.line));
+        if !suppressed {
+            report.violations.push(f);
+        }
+    }
+
+    let graph = Graph::build(files.iter().map(|f| f.rel.clone()).collect(), asts);
+    report
+        .violations
+        .extend(taint::determinism_pass(&graph, &mut allow_map));
+    let (panic_errors, panic_notes) = taint::panic_reach_pass(&graph, &mut allow_map);
+    report.violations.extend(panic_errors);
+    report.notes.extend(panic_notes);
+    report
+        .violations
+        .extend(taint::sim_units_pass(&graph, &mut allow_map));
+
+    // Account for every allow: used ones feed the baseline, unused ones
+    // are violations (stale suppressions hide future regressions). Allows
+    // in files where none of their covered rules apply are plain comments
+    // — neither counted nor flagged, matching the v1 scanner which never
+    // looked at out-of-scope files at all.
+    for (rel, allows) in &allow_map {
+        for a in &allows.list {
+            let applicable = rules::RULES
+                .iter()
+                .any(|(r, _)| rules::allow_covers(&a.rule, r) && rules::rule_applies(r, rel));
+            if !applicable {
+                continue;
+            }
+            if a.used {
+                report.allows.push(UsedAllow {
+                    rule: rule_static(&a.rule),
+                    rel: rel.clone(),
+                    line: a.at,
+                    reason: a.reason.clone(),
+                });
+            } else {
+                report.violations.push(Finding::bad_allow(
+                    rel,
+                    a.at,
+                    &format!(
+                        "unused lint:allow({}) — nothing on the target line trips the rule",
+                        a.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    let key = |f: &Finding| (f.rel.clone(), f.line, f.rule, f.message.clone());
+    report.violations.sort_by_key(key);
+    report.notes.sort_by_key(key);
+    report
+        .allows
+        .sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+    report
+}
+
+/// Renders the human-readable report: violations (with call chains),
+/// notes, and the allowlist summary. Shared by the CLI and the UI tests.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.rel, v.line, v.rule, v.message);
+        for (rel, line, msg) in &v.chain {
+            let _ = writeln!(out, "    {rel}:{line}: {msg}");
+        }
+    }
+    // Notes are advisory; cap the text listing so a workspace scan stays
+    // readable (the SARIF log always carries every note).
+    const NOTE_CAP: usize = 40;
+    for n in report.notes.iter().take(NOTE_CAP) {
+        let _ = writeln!(out, "{}:{}: note[{}] {}", n.rel, n.line, n.rule, n.message);
+    }
+    if report.notes.len() > NOTE_CAP {
+        let _ = writeln!(
+            out,
+            "… {} more note(s) — rerun with --sarif for the full list",
+            report.notes.len() - NOTE_CAP
+        );
+    }
+    if !report.allows.is_empty() {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for a in &report.allows {
+            *per_rule.entry(a.rule).or_insert(0) += 1;
+        }
+        let breakdown = per_rule
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "allowlist: {} suppression(s) ({breakdown})",
+            report.allows.len()
+        );
+        for a in &report.allows {
+            let _ = writeln!(
+                out,
+                "  {}:{}: lint:allow({}) — {}",
+                a.rel, a.line, a.rule, a.reason
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_lexical_suppression_and_unused_detection() {
+        let report = analyze(&[src(
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+             a.unwrap(); // lint:allow(no-panic) — invariant: checked above\n\
+             b.unwrap();\n\
+             c.len(); // lint:allow(no-panic) — stale\n\
+             }\n",
+        )]);
+        assert_eq!(report.allows.len(), 1);
+        // b.unwrap() raw + the stale allow on line 4.
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"bad-allow"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("unused lint:allow(no-panic)")));
+    }
+
+    #[test]
+    fn cross_file_taint_shows_up_end_to_end() {
+        let report = analyze(&[
+            src(
+                "crates/workloads/src/gen.rs",
+                "pub fn jitter() -> f64 { let t = std::time::Instant::now(); 0.0 }\n",
+            ),
+            src(
+                "crates/core/src/batching/policy.rs",
+                "impl Fcfs { fn decide(&mut self) { let j = jitter(); } }\n",
+            ),
+        ]);
+        let det: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "determinism")
+            .collect();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].rel, "crates/core/src/batching/policy.rs");
+        assert!(!det[0].chain.is_empty());
+    }
+
+    #[test]
+    fn report_ordering_is_deterministic() {
+        let files = [
+            src(
+                "crates/core/src/b.rs",
+                "fn f() { x.unwrap(); y.unwrap(); }\n",
+            ),
+            src("crates/core/src/a.rs", "fn g() { z.unwrap(); }\n"),
+        ];
+        let r1 = analyze(&files);
+        let r2 = analyze(&[files[1].clone(), files[0].clone()]);
+        let k1: Vec<_> = r1
+            .violations
+            .iter()
+            .map(|v| (v.rel.clone(), v.line))
+            .collect();
+        let k2: Vec<_> = r2
+            .violations
+            .iter()
+            .map(|v| (v.rel.clone(), v.line))
+            .collect();
+        assert_eq!(k1, k2);
+        assert!(k1.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

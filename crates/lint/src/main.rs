@@ -1,567 +1,23 @@
-//! `proteus-lint` — project-specific static analysis for the Proteus
-//! reproduction.
+//! proteus-lint CLI: thin driver over the [`proteus_lint`] library.
 //!
-//! The compiler cannot check the two properties this workspace lives and
-//! dies by: MILP plans must be *verifiably* feasible, and the simulation
-//! must be *deterministic*. This tool enforces the source-level half of
-//! that contract with four rule families:
-//!
-//! * `no-panic` — no `.unwrap()` / `.expect(` / `panic!` in non-test code
-//!   of `core`, `sim`, `solver` and `trace`. Library code returns errors;
-//!   a panic inside the replan loop tears down the whole experiment.
-//! * `float-eq` — no direct `==` / `!=` against a float literal outside
-//!   the designated epsilon module (`crates/solver/src/eps.rs`). Tableau
-//!   and plan comparisons must go through the shared tolerance helpers.
-//! * `hash-iter` — no `HashMap` / `HashSet` in plan-affecting code
-//!   (`solver`, `core`, `sim`). Hash iteration order is nondeterministic
-//!   across runs, which silently breaks replan reproducibility; use
-//!   `BTreeMap` / `BTreeSet` or sort explicitly.
-//! * `wall-clock` — no `Instant::now` / `SystemTime::now` / OS randomness
-//!   inside `crates/sim` and `crates/core`: sim time only. (Measuring
-//!   solver wall time for reporting is the one sanctioned exception, via
-//!   an allow.)
-//!
-//! A violation is suppressed by an adjacent comment
-//! `// lint:allow(<rule>) — <reason>` (same line, or a standalone comment
-//! line directly above). The reason is mandatory; every allow is counted,
-//! reported in the summary, and checked against the committed baseline
-//! (`crates/lint/baseline.txt`) when `--deny-allowlist-growth` is given,
-//! so suppressions cannot creep in unreviewed. Unused allows are errors.
-//!
-//! ```sh
+//! ```text
 //! cargo run -p proteus-lint                            # scan, report, exit 1 on violations
 //! cargo run -p proteus-lint -- --deny-allowlist-growth # CI mode
 //! cargo run -p proteus-lint -- --write-baseline        # regenerate baseline.txt
+//! cargo run -p proteus-lint -- --sarif out.sarif       # also write SARIF 2.1.0
 //! ```
 //!
-//! The tool is dependency-free and purely lexical: strings, comments and
-//! `#[cfg(test)]` module bodies are stripped before matching, so doc
-//! examples and test code never trip a rule.
+//! The whole workspace (`crates/**/*.rs`) feeds the call graph — a taint
+//! chain may pass through any crate — while lexical rules only fire inside
+//! their path scopes (see `rules::rule_applies`).
 
-#![forbid(unsafe_code)]
-
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use proteus_lint::{analyze, baseline, render_text, sarif, SourceFile};
+
 /// Relative path of the committed allowlist baseline.
 const BASELINE: &str = "crates/lint/baseline.txt";
-
-/// The four rule families, by the name used in `lint:allow(...)`.
-const RULES: [&str; 4] = ["no-panic", "float-eq", "hash-iter", "wall-clock"];
-
-/// Whether `rule` applies to the file at workspace-relative path `rel`.
-///
-/// Scopes follow the project contract: panic-freedom and float tolerance
-/// discipline cover the algorithmic crates; determinism rules cover
-/// everything that can influence a plan or the event order.
-fn rule_applies(rule: &str, rel: &str) -> bool {
-    let in_any = |prefixes: &[&str]| prefixes.iter().any(|p| rel.starts_with(p));
-    match rule {
-        "no-panic" => in_any(&[
-            "crates/core/src/",
-            "crates/sim/src/",
-            "crates/solver/src/",
-            "crates/telemetry/src/",
-            "crates/trace/src/",
-        ]),
-        "float-eq" => {
-            rel != "crates/solver/src/eps.rs"
-                && in_any(&[
-                    "crates/core/src/",
-                    "crates/sim/src/",
-                    "crates/solver/src/",
-                    "crates/trace/src/",
-                ])
-        }
-        "hash-iter" => in_any(&["crates/core/src/", "crates/sim/src/", "crates/solver/src/"]),
-        "wall-clock" => in_any(&[
-            "crates/core/src/",
-            "crates/sim/src/",
-            "crates/telemetry/src/",
-        ]),
-        _ => false,
-    }
-}
-
-/// One source line after lexing: executable code and comment text split.
-#[derive(Debug, Default, Clone)]
-struct Line {
-    /// The line with strings, chars and comments blanked out.
-    code: String,
-    /// The concatenated comment text on this line (without `//` / `/*`).
-    comment: String,
-}
-
-/// Strips string/char literals and comments, preserving line structure.
-///
-/// String and char literal *contents* are replaced by spaces (so `"=="`
-/// inside a message can't trip `float-eq`); comment text is routed to
-/// [`Line::comment`] so `lint:allow` markers survive.
-fn lex(source: &str) -> Vec<Line> {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-    }
-    let mut lines = vec![Line::default()];
-    let mut state = State::Code;
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            lines.push(Line::default());
-            i += 1;
-            continue;
-        }
-        let line = lines.last_mut().unwrap_or_else(|| unreachable!());
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    i += 2;
-                    // Skip doc-comment markers so `comment` holds text only.
-                    while matches!(chars.get(i), Some('/' | '!')) {
-                        i += 1;
-                    }
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    state = State::Str;
-                    line.code.push(' ');
-                }
-                'r' if matches!(next, Some('"' | '#')) && !prev_is_ident(&chars, i) => {
-                    // Raw string r"…" / r#"…"#: count the hashes.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        state = State::RawStr(hashes);
-                        line.code.push(' ');
-                        i = j + 1;
-                        continue;
-                    }
-                    line.code.push(c);
-                }
-                '\'' => {
-                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
-                        && chars.get(i + 2) != Some(&'\'');
-                    if is_lifetime {
-                        line.code.push(c);
-                    } else {
-                        // Skip the whole char literal.
-                        line.code.push(' ');
-                        i += 1;
-                        if chars.get(i) == Some(&'\\') {
-                            i += 1;
-                        }
-                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
-                            i += 1;
-                        }
-                    }
-                }
-                // Non-ASCII only appears in strings/comments in this
-                // workspace; blanking it keeps byte-offset slicing safe.
-                _ => line.code.push(if c.is_ascii() { c } else { ' ' }),
-            },
-            State::LineComment => line.comment.push(c),
-            State::BlockComment(depth) => {
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                    continue;
-                }
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                    continue;
-                }
-                line.comment.push(c);
-            }
-            State::Str => match c {
-                '\\' => {
-                    i += 2;
-                    continue;
-                }
-                '"' => state = State::Code,
-                _ => {}
-            },
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let closed = (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                    if closed {
-                        state = State::Code;
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    lines
-}
-
-/// Whether the char before index `i` continues an identifier (so the `r`
-/// in `var"` or `attr#` isn't misread as a raw-string prefix).
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// Marks the lines inside `#[cfg(test)]` / `#[test]` items by matching the
-/// brace span that the attribute introduces.
-fn test_lines(lines: &[Line]) -> Vec<bool> {
-    let mut in_test = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    // When a test attribute is pending, the next `{` opens the exempt span.
-    let mut pending = false;
-    let mut spans: Vec<i64> = Vec::new(); // depth *outside* each open span
-    for (idx, line) in lines.iter().enumerate() {
-        let code = line.code.as_str();
-        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
-            pending = true;
-        }
-        if !spans.is_empty() {
-            in_test[idx] = true;
-        }
-        for c in code.chars() {
-            match c {
-                '{' => {
-                    if pending {
-                        spans.push(depth);
-                        pending = false;
-                        in_test[idx] = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if spans.last() == Some(&depth) {
-                        spans.pop();
-                    }
-                }
-                _ => {}
-            }
-        }
-        if pending {
-            in_test[idx] = true; // the attribute line itself
-        }
-    }
-    in_test
-}
-
-/// A `lint:allow` annotation parsed from a comment.
-#[derive(Debug, Clone)]
-struct Allow {
-    rule: String,
-    reason: String,
-    /// 1-based line the allow suppresses (its own, or the next code line).
-    target: usize,
-    /// 1-based line the comment lives on.
-    at: usize,
-    used: bool,
-}
-
-/// Parses every `lint:allow(<rule>) — <reason>` in the file's comments.
-///
-/// An allow on a line with code suppresses that line; a standalone comment
-/// suppresses the next line that has code. Returns the allows plus any
-/// malformed annotations (missing reason / unknown rule) as violations.
-fn parse_allows(lines: &[Line]) -> (Vec<Allow>, Vec<(usize, String)>) {
-    let mut allows = Vec::new();
-    let mut malformed = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        let Some(pos) = line.comment.find("lint:allow(") else {
-            continue;
-        };
-        let rest = &line.comment[pos + "lint:allow(".len()..];
-        let Some(close) = rest.find(')') else {
-            malformed.push((idx + 1, "unclosed lint:allow(".to_string()));
-            continue;
-        };
-        let rule = rest[..close].trim().to_string();
-        if !RULES.contains(&rule.as_str()) {
-            malformed.push((idx + 1, format!("unknown rule `{rule}` in lint:allow")));
-            continue;
-        }
-        // The reason follows a dash; it is mandatory.
-        let after = rest[close + 1..].trim_start();
-        let reason = after
-            .strip_prefix('\u{2014}')
-            .or_else(|| after.strip_prefix("--"))
-            .or_else(|| after.strip_prefix('-'))
-            .map(str::trim)
-            .unwrap_or("");
-        if reason.is_empty() {
-            malformed.push((
-                idx + 1,
-                format!("lint:allow({rule}) without a reason (`— <why>` is mandatory)"),
-            ));
-            continue;
-        }
-        let target = if line.code.trim().is_empty() {
-            // Standalone comment: applies to the next line with code.
-            lines[idx + 1..]
-                .iter()
-                .position(|l| !l.code.trim().is_empty())
-                .map(|off| idx + 1 + off + 1)
-                .unwrap_or(idx + 1)
-        } else {
-            idx + 1
-        };
-        allows.push(Allow {
-            rule,
-            reason: reason.to_string(),
-            target,
-            at: idx + 1,
-            used: false,
-        });
-    }
-    (allows, malformed)
-}
-
-/// Whether `token` reads as a float literal (or float constant path).
-fn is_float_token(token: &str) -> bool {
-    let t = token.trim_start_matches(['+', '-']);
-    if t.contains("f64::") || t.contains("f32::") {
-        return true;
-    }
-    let t = t.replace('_', "");
-    let mut chars = t.chars();
-    if !chars.next().is_some_and(|c| c.is_ascii_digit()) {
-        return false;
-    }
-    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
-        return false;
-    }
-    t.contains('.')
-        || t.contains('e')
-        || t.contains('E')
-        || t.ends_with("f64")
-        || t.ends_with("f32")
-}
-
-/// Extracts the token just before byte offset `at` in `code`.
-fn token_before(code: &str, at: usize) -> &str {
-    let bytes = code.as_bytes();
-    let mut end = at;
-    while end > 0 && bytes[end - 1] == b' ' {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0 {
-        let c = bytes[start - 1] as char;
-        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    &code[start..end]
-}
-
-/// Extracts the token just after byte offset `at` in `code`.
-fn token_after(code: &str, at: usize) -> &str {
-    let bytes = code.as_bytes();
-    let mut start = at;
-    while start < bytes.len() && bytes[start] == b' ' {
-        start += 1;
-    }
-    let mut end = start;
-    if end < bytes.len() && matches!(bytes[end] as char, '+' | '-') {
-        end += 1;
-    }
-    while end < bytes.len() {
-        let c = bytes[end] as char;
-        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
-            end += 1;
-        } else {
-            break;
-        }
-    }
-    &code[start..end]
-}
-
-/// `float-eq`: a `==` / `!=` whose either operand is a float literal.
-fn float_eq_hit(code: &str) -> Option<String> {
-    let bytes = code.as_bytes();
-    for i in 0..bytes.len().saturating_sub(1) {
-        let two = &code[i..i + 2];
-        if two != "==" && two != "!=" {
-            continue;
-        }
-        // Not part of `<=` `>=` `===`-ish runs or `!=` tails.
-        if i > 0 && matches!(bytes[i - 1] as char, '=' | '<' | '>' | '!') {
-            continue;
-        }
-        if bytes.get(i + 2) == Some(&b'=') {
-            continue;
-        }
-        let before = token_before(code, i);
-        let after = token_after(code, i + 2);
-        for t in [before, after] {
-            if is_float_token(t) {
-                return Some(format!(
-                    "direct float `{two}` against `{t}` — use solver::eps helpers"
-                ));
-            }
-        }
-    }
-    None
-}
-
-/// Runs every rule that applies to `rel` over one lexed code line.
-fn check_line(rel: &str, code: &str) -> Vec<(&'static str, String)> {
-    let mut hits = Vec::new();
-    if rule_applies("no-panic", rel) {
-        for (needle, what) in [
-            (".unwrap()", "`.unwrap()`"),
-            (".expect(", "`.expect(…)`"),
-            ("panic!", "`panic!`"),
-        ] {
-            if code.contains(needle) {
-                hits.push((
-                    "no-panic",
-                    format!("{what} in library code — return an error instead"),
-                ));
-            }
-        }
-    }
-    if rule_applies("float-eq", rel) {
-        if let Some(msg) = float_eq_hit(code) {
-            hits.push(("float-eq", msg));
-        }
-    }
-    if rule_applies("hash-iter", rel) {
-        for ty in ["HashMap", "HashSet"] {
-            if code.contains(ty) {
-                hits.push((
-                    "hash-iter",
-                    format!(
-                        "`{ty}` in plan-affecting code — iteration order is \
-                         nondeterministic; use BTree{} or sort explicitly",
-                        &ty[4..]
-                    ),
-                ));
-            }
-        }
-    }
-    if rule_applies("wall-clock", rel) {
-        for src in [
-            "Instant::now",
-            "SystemTime::now",
-            "thread_rng",
-            "OsRng",
-            "from_entropy",
-            "rand::random",
-            "getrandom",
-        ] {
-            if code.contains(src) {
-                hits.push((
-                    "wall-clock",
-                    format!("`{src}` in sim/core — sim time and seeded RNG only"),
-                ));
-            }
-        }
-    }
-    hits
-}
-
-/// One reported violation.
-#[derive(Debug)]
-struct Violation {
-    rel: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-/// Full scan result for the workspace.
-#[derive(Debug, Default)]
-struct Report {
-    violations: Vec<Violation>,
-    /// Every used allow: (rule, rel, line, reason).
-    allows: Vec<(String, String, usize, String)>,
-    files_scanned: usize,
-}
-
-/// Scans one file's source text.
-fn scan_file(rel: &str, source: &str, report: &mut Report) {
-    if !RULES.iter().any(|r| rule_applies(r, rel)) {
-        return;
-    }
-    report.files_scanned += 1;
-    let lines = lex(source);
-    let exempt = test_lines(&lines);
-    let (mut allows, malformed) = parse_allows(&lines);
-    for (line_no, msg) in malformed {
-        report.violations.push(Violation {
-            rel: rel.to_string(),
-            line: line_no,
-            rule: "bad-allow",
-            message: msg,
-        });
-    }
-    for (idx, line) in lines.iter().enumerate() {
-        if exempt[idx] {
-            continue;
-        }
-        for (rule, message) in check_line(rel, &line.code) {
-            let suppressed = allows
-                .iter_mut()
-                .find(|a| a.target == idx + 1 && a.rule == rule);
-            if let Some(allow) = suppressed {
-                allow.used = true;
-            } else {
-                report.violations.push(Violation {
-                    rel: rel.to_string(),
-                    line: idx + 1,
-                    rule,
-                    message,
-                });
-            }
-        }
-    }
-    for allow in allows {
-        if allow.used {
-            report
-                .allows
-                .push((allow.rule, rel.to_string(), allow.at, allow.reason));
-        } else {
-            report.violations.push(Violation {
-                rel: rel.to_string(),
-                line: allow.at,
-                rule: "bad-allow",
-                message: format!(
-                    "unused lint:allow({}) — nothing on the target line trips the rule",
-                    allow.rule
-                ),
-            });
-        }
-    }
-}
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
 fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -593,56 +49,28 @@ fn workspace_root() -> Option<PathBuf> {
     }
 }
 
-/// Per-(rule, file) allow counts, the unit the baseline tracks.
-fn allow_counts(report: &Report) -> BTreeMap<(String, String), usize> {
-    let mut counts = BTreeMap::new();
-    for (rule, rel, _, _) in &report.allows {
-        *counts.entry((rule.clone(), rel.clone())).or_insert(0) += 1;
-    }
-    counts
-}
-
-/// Renders the baseline file from a scan.
-fn render_baseline(report: &Report) -> String {
-    let mut out = String::from(
-        "# proteus-lint allowlist baseline: `<rule> <count> <path>` per suppressed file.\n\
-         # Regenerate with `cargo run -p proteus-lint -- --write-baseline`.\n\
-         # CI runs `--deny-allowlist-growth`: counts above these fail the build.\n",
-    );
-    for ((rule, rel), count) in allow_counts(report) {
-        let _ = writeln!(out, "{rule} {count} {rel}");
-    }
-    out
-}
-
-/// Parses a baseline file into (rule, path) → count.
-fn parse_baseline(text: &str) -> BTreeMap<(String, String), usize> {
-    let mut counts = BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.splitn(3, ' ');
-        if let (Some(rule), Some(count), Some(rel)) = (parts.next(), parts.next(), parts.next()) {
-            if let Ok(count) = count.parse::<usize>() {
-                counts.insert((rule.to_string(), rel.to_string()), count);
-            }
-        }
-    }
-    counts
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut deny_growth = false;
     let mut write_baseline = false;
-    for arg in &args {
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny-allowlist-growth" => deny_growth = true,
             "--write-baseline" => write_baseline = true,
+            "--sarif" => match it.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --sarif needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: proteus-lint [--deny-allowlist-growth] [--write-baseline]");
+                eprintln!(
+                    "usage: proteus-lint [--deny-allowlist-growth] [--write-baseline] \
+                     [--sarif <path>]"
+                );
                 return ExitCode::from(0);
             }
             other => {
@@ -655,20 +83,25 @@ fn main() -> ExitCode {
         eprintln!("error: cannot find the workspace root (Cargo.toml + crates/)");
         return ExitCode::FAILURE;
     };
-    let mut files = Vec::new();
-    if let Err(e) = collect_sources(&root.join("crates"), &mut files) {
+    let mut paths = Vec::new();
+    if let Err(e) = collect_sources(&root.join("crates"), &mut paths) {
         eprintln!("error: walking {}: {e}", root.join("crates").display());
         return ExitCode::FAILURE;
     }
-    let mut report = Report::default();
-    for path in &files {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
         let rel = path
             .strip_prefix(&root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
+        // The fixture corpus is *input* to the analyzer (each file is a
+        // virtual mini-workspace), not workspace code to scan.
+        if rel.starts_with("crates/lint/tests/fixtures/") {
+            continue;
+        }
         match std::fs::read_to_string(path) {
-            Ok(source) => scan_file(&rel, &source, &mut report),
+            Ok(text) => files.push(SourceFile { rel, text }),
             Err(e) => {
                 eprintln!("error: reading {rel}: {e}");
                 return ExitCode::FAILURE;
@@ -676,207 +109,49 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut failed = false;
-    for v in &report.violations {
-        println!("{}:{}: [{}] {}", v.rel, v.line, v.rule, v.message);
-        failed = true;
-    }
+    let report = analyze(&files);
+    print!("{}", render_text(&report));
+    let mut failed = !report.violations.is_empty();
 
-    // Allowlist summary: every suppression is visible, with its reason.
-    if !report.allows.is_empty() {
-        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
-        for (rule, _, _, _) in &report.allows {
-            *per_rule.entry(rule.as_str()).or_insert(0) += 1;
+    if let Some(path) = &sarif_out {
+        let log = sarif::render(&report);
+        if let Err(e) = sarif::validate_shape(&log) {
+            eprintln!("error: emitted SARIF failed self-validation: {e}");
+            return ExitCode::FAILURE;
         }
-        let total = report.allows.len();
-        let breakdown = per_rule
-            .iter()
-            .map(|(r, n)| format!("{r}: {n}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        println!("allowlist: {total} suppression(s) ({breakdown})");
-        for (rule, rel, line, reason) in &report.allows {
-            println!("  {rel}:{line}: lint:allow({rule}) — {reason}");
+        if let Err(e) = std::fs::write(path, &log) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
+        println!("sarif: wrote {}", path.display());
     }
 
     let baseline_path = root.join(BASELINE);
     if write_baseline {
-        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&report)) {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&report)) {
             eprintln!("error: writing {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
         }
-        println!("baseline: wrote {}", BASELINE);
+        println!("baseline: wrote {BASELINE}");
     } else if deny_growth {
         let text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
-        let baseline = parse_baseline(&text);
-        for (key, count) in allow_counts(&report) {
-            let allowed = baseline.get(&key).copied().unwrap_or(0);
-            if count > allowed {
-                println!(
-                    "{}: [allowlist-growth] {} lint:allow({}) suppression(s), baseline allows {}",
-                    key.1, count, key.0, allowed
-                );
-                failed = true;
-            }
+        let committed = baseline::parse(&text);
+        for msg in baseline::growth(&report, &committed) {
+            println!("{msg}");
+            failed = true;
         }
     }
 
     println!(
-        "proteus-lint: {} file(s) scanned, {} violation(s), {} allow(s)",
+        "proteus-lint: {} file(s) scanned, {} violation(s), {} note(s), {} allow(s)",
         report.files_scanned,
         report.violations.len(),
+        report.notes.len(),
         report.allows.len()
     );
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn code_of(source: &str) -> Vec<String> {
-        lex(source).into_iter().map(|l| l.code).collect()
-    }
-
-    #[test]
-    fn lexer_strips_strings_and_comments() {
-        let code = code_of("let x = \"a == 1.0\"; // x == 2.0\nlet y = 'c';");
-        assert!(!code[0].contains("1.0"));
-        assert!(!code[0].contains("2.0"));
-        assert!(!code[1].contains('c'));
-        assert!(code[0].contains("let x ="));
-    }
-
-    #[test]
-    fn lexer_handles_raw_strings_and_lifetimes() {
-        let code = code_of("let r = r#\"panic!(\"x\")\"#;\nfn f<'a>(x: &'a str) {}");
-        assert!(!code[0].contains("panic!"));
-        assert!(code[1].contains("'a"));
-    }
-
-    #[test]
-    fn lexer_handles_nested_block_comments() {
-        let code = code_of("a /* one /* two */ still */ b");
-        assert_eq!(code[0].replace(' ', ""), "ab");
-    }
-
-    #[test]
-    fn test_spans_are_exempt() {
-        let src = "fn live() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn t() { y.unwrap(); }\n\
-                   }\n\
-                   fn live2() { z.unwrap(); }\n";
-        let lines = lex(src);
-        let exempt = test_lines(&lines);
-        assert_eq!(&exempt[..6], &[false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn no_panic_matches_only_real_panics() {
-        let rel = "crates/core/src/x.rs";
-        assert!(!check_line(rel, "let a = b.unwrap_or(0);")
-            .iter()
-            .any(|(r, _)| *r == "no-panic"));
-        assert!(check_line(rel, "let a = b.unwrap();")
-            .iter()
-            .any(|(r, _)| *r == "no-panic"));
-        assert!(check_line(rel, "let a = b.expect(\"msg\");")
-            .iter()
-            .any(|(r, _)| *r == "no-panic"));
-        assert!(check_line(rel, "panic!(\"boom\")")
-            .iter()
-            .any(|(r, _)| *r == "no-panic"));
-    }
-
-    #[test]
-    fn float_eq_catches_literals_not_ints_or_tuples() {
-        assert!(float_eq_hit("if x == 1.0 {").is_some());
-        assert!(float_eq_hit("if 0.5 != y {").is_some());
-        assert!(float_eq_hit("if x == f64::INFINITY {").is_some());
-        assert!(float_eq_hit("if x == 1e-6 {").is_some());
-        assert!(float_eq_hit("if n == 3 {").is_none());
-        assert!(float_eq_hit("if t.0 == other {").is_none());
-        assert!(float_eq_hit("if x <= 1.0 {").is_none());
-        assert!(float_eq_hit("if mask == 0x1F {").is_none());
-    }
-
-    #[test]
-    fn rule_scopes_respect_paths() {
-        assert!(rule_applies("no-panic", "crates/solver/src/simplex.rs"));
-        assert!(!rule_applies("no-panic", "crates/cli/src/main.rs"));
-        assert!(!rule_applies("float-eq", "crates/solver/src/eps.rs"));
-        assert!(rule_applies("hash-iter", "crates/sim/src/event.rs"));
-        assert!(!rule_applies("wall-clock", "crates/solver/src/simplex.rs"));
-        assert!(rule_applies("no-panic", "crates/telemetry/src/sketch.rs"));
-        assert!(rule_applies("wall-clock", "crates/telemetry/src/http.rs"));
-        assert!(!rule_applies("float-eq", "crates/telemetry/src/burn.rs"));
-        assert!(!rule_applies(
-            "hash-iter",
-            "crates/telemetry/src/registry.rs"
-        ));
-    }
-
-    #[test]
-    fn allow_requires_reason_and_known_rule() {
-        let (allows, bad) = parse_allows(&lex(
-            "x.unwrap(); // lint:allow(no-panic) — invariant: set above\n\
-             y.unwrap(); // lint:allow(no-panic)\n\
-             z.unwrap(); // lint:allow(made-up) — nope\n",
-        ));
-        assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].target, 1);
-        assert_eq!(allows[0].reason, "invariant: set above");
-        assert_eq!(bad.len(), 2);
-    }
-
-    #[test]
-    fn standalone_allow_targets_next_code_line() {
-        let (allows, _) = parse_allows(&lex("// lint:allow(wall-clock) — reporting only\n\
-             let t = Instant::now();\n"));
-        assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].target, 2);
-    }
-
-    #[test]
-    fn scan_suppresses_and_flags_unused() {
-        let mut report = Report::default();
-        scan_file(
-            "crates/core/src/x.rs",
-            "fn f() {\n\
-             a.unwrap(); // lint:allow(no-panic) — fine here\n\
-             b.unwrap();\n\
-             c; // lint:allow(no-panic) — nothing to suppress\n\
-             }\n",
-            &mut report,
-        );
-        assert_eq!(report.allows.len(), 1);
-        assert_eq!(report.violations.len(), 2); // raw unwrap + unused allow
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.message.contains("unused")));
-    }
-
-    #[test]
-    fn baseline_round_trips() {
-        let mut report = Report::default();
-        report.allows.push((
-            "wall-clock".into(),
-            "crates/core/src/system.rs".into(),
-            561,
-            "reporting".into(),
-        ));
-        let parsed = parse_baseline(&render_baseline(&report));
-        assert_eq!(
-            parsed.get(&("wall-clock".into(), "crates/core/src/system.rs".into())),
-            Some(&1)
-        );
     }
 }

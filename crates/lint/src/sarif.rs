@@ -1,0 +1,579 @@
+//! SARIF 2.1.0 output, hand-rolled (the lint crate is dependency-free).
+//!
+//! Two halves: a small JSON *emitter* that renders a [`crate::Report`] as a
+//! SARIF log, and a small JSON *parser* used by [`validate_shape`] to check
+//! the emitted log against the SARIF 2.1.0 structural requirements we rely
+//! on (version string, tool.driver.rules, result locations, codeFlows,
+//! suppressions). The validator runs as a lint self-test and over every UI
+//! fixture, so a malformed emitter change fails CI before GitHub's code
+//! scanning upload does.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::RULES;
+use crate::{Finding, Level, Report};
+
+const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// JSON string escaping per RFC 8259.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn location(rel: &str, line: usize) -> String {
+    format!(
+        "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\",\
+         \"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{}}}}}}}",
+        esc(rel),
+        line.max(1)
+    )
+}
+
+fn result_json(f: &Finding, suppression: Option<&str>) -> String {
+    let level = match f.level {
+        Level::Error => "error",
+        Level::Note => "note",
+    };
+    let mut out = format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{}]",
+        esc(f.rule),
+        esc(&f.message),
+        location(&f.rel, f.line)
+    );
+    if !f.chain.is_empty() {
+        let steps: Vec<String> = f
+            .chain
+            .iter()
+            .map(|(rel, line, msg)| {
+                format!(
+                    "{{\"location\":{{\"physicalLocation\":{{\"artifactLocation\":\
+                     {{\"uri\":\"{}\",\"uriBaseId\":\"SRCROOT\"}},\"region\":\
+                     {{\"startLine\":{}}}}},\"message\":{{\"text\":\"{}\"}}}}}}",
+                    esc(rel),
+                    line.max(&1),
+                    esc(msg)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            ",\"codeFlows\":[{{\"threadFlows\":[{{\"locations\":[{}]}}]}}]",
+            steps.join(",")
+        );
+    }
+    if let Some(reason) = suppression {
+        let _ = write!(
+            out,
+            ",\"suppressions\":[{{\"kind\":\"inSource\",\"justification\":\"{}\"}}]",
+            esc(reason)
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the full SARIF 2.1.0 log for a report. Violations and notes are
+/// live results; used `lint:allow` sites are emitted as suppressed results
+/// so code scanning shows them as reviewed, not missing.
+pub fn render(report: &Report) -> String {
+    // `bad-allow` is a pseudo-rule (malformed/stale suppressions); it is
+    // reportable but never allowable, so it lives outside the registry.
+    let all_rules: Vec<(&str, &str)> = RULES
+        .iter()
+        .copied()
+        .chain([(
+            "bad-allow",
+            "Malformed, unknown-rule, reasonless, or unused lint:allow annotation",
+        )])
+        .collect();
+    let rules: Vec<String> = all_rules
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                esc(id),
+                esc(desc)
+            )
+        })
+        .collect();
+    let mut results: Vec<String> = Vec::new();
+    for f in report.violations.iter().chain(&report.notes) {
+        results.push(result_json(f, None));
+    }
+    for a in &report.allows {
+        let f = Finding {
+            rule: a.rule,
+            rel: a.rel.clone(),
+            line: a.line,
+            message: format!("suppressed by lint:allow({}): {}", a.rule, a.reason),
+            level: Level::Note,
+            chain: Vec::new(),
+        };
+        results.push(result_json(&f, Some(&a.reason)));
+    }
+    format!(
+        "{{\"$schema\":\"{SCHEMA_URI}\",\"version\":\"2.1.0\",\"runs\":[{{\
+         \"tool\":{{\"driver\":{{\"name\":\"proteus-lint\",\"version\":\"2.0.0\",\
+         \"informationUri\":\"https://github.com/proteus-sim/proteus\",\
+         \"rules\":[{}]}}}},\
+         \"originalUriBaseIds\":{{\"SRCROOT\":{{\"uri\":\"file:///\"}}}},\
+         \"columnKind\":\"utf16CodeUnits\",\
+         \"results\":[{}]}}]}}\n",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser + SARIF shape validation (self-test support).
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value; numbers are kept as f64 (ample for line numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    /// `a.b.c` path lookup through objects.
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, k| v.get(k))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            // Surrogate pairs are not emitted by us; replace.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (no trailing garbage allowed).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates the SARIF 2.1.0 structural shape of an emitted log: the
+/// pieces GitHub code scanning and the SARIF spec require of us.
+pub fn validate_shape(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("version").and_then(Json::as_str) != Some("2.1.0") {
+        return Err("version must be \"2.1.0\"".into());
+    }
+    if doc.get("$schema").and_then(Json::as_str).is_none() {
+        return Err("$schema missing".into());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("runs must be an array")?;
+    if runs.is_empty() {
+        return Err("runs is empty".into());
+    }
+    for run in runs {
+        let driver = run.path("tool.driver").ok_or("tool.driver missing")?;
+        if driver.get("name").and_then(Json::as_str).is_none() {
+            return Err("tool.driver.name missing".into());
+        }
+        let rules = driver
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or("tool.driver.rules must be an array")?;
+        let mut rule_ids = Vec::new();
+        for r in rules {
+            let id = r
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("rule without id")?;
+            if r.path("shortDescription.text")
+                .and_then(Json::as_str)
+                .is_none()
+            {
+                return Err(format!("rule {id} lacks shortDescription.text"));
+            }
+            rule_ids.push(id.to_string());
+        }
+        let results = run
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("results must be an array")?;
+        for res in results {
+            let rule_id = res
+                .get("ruleId")
+                .and_then(Json::as_str)
+                .ok_or("result without ruleId")?;
+            if !rule_ids.iter().any(|r| r == rule_id) {
+                return Err(format!("result ruleId {rule_id} not declared in rules"));
+            }
+            match res.get("level").and_then(Json::as_str) {
+                Some("error" | "warning" | "note" | "none") => {}
+                other => return Err(format!("bad result level {other:?}")),
+            }
+            if res.path("message.text").and_then(Json::as_str).is_none() {
+                return Err("result lacks message.text".into());
+            }
+            let locs = res
+                .get("locations")
+                .and_then(Json::as_arr)
+                .ok_or("result lacks locations")?;
+            for loc in locs {
+                check_physical(loc).map_err(|e| format!("result location: {e}"))?;
+            }
+            if let Some(flows) = res.get("codeFlows") {
+                for flow in flows.as_arr().ok_or("codeFlows must be an array")? {
+                    let tfs = flow
+                        .get("threadFlows")
+                        .and_then(Json::as_arr)
+                        .ok_or("codeFlow lacks threadFlows")?;
+                    for tf in tfs {
+                        let steps = tf
+                            .get("locations")
+                            .and_then(Json::as_arr)
+                            .ok_or("threadFlow lacks locations")?;
+                        if steps.is_empty() {
+                            return Err("threadFlow.locations is empty".into());
+                        }
+                        for step in steps {
+                            let loc = step
+                                .get("location")
+                                .ok_or("threadFlowLocation lacks location")?;
+                            check_physical(loc).map_err(|e| format!("threadFlow location: {e}"))?;
+                        }
+                    }
+                }
+            }
+            if let Some(sups) = res.get("suppressions") {
+                for sup in sups.as_arr().ok_or("suppressions must be an array")? {
+                    match sup.get("kind").and_then(Json::as_str) {
+                        Some("inSource" | "external") => {}
+                        other => return Err(format!("bad suppression kind {other:?}")),
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_physical(loc: &Json) -> Result<(), String> {
+    let uri = loc
+        .path("physicalLocation.artifactLocation.uri")
+        .and_then(Json::as_str)
+        .ok_or("lacks physicalLocation.artifactLocation.uri")?;
+    if uri.starts_with('/') || uri.contains('\\') {
+        return Err(format!("uri must be a relative forward-slash path: {uri}"));
+    }
+    let line = loc
+        .path("physicalLocation.region.startLine")
+        .and_then(Json::as_num)
+        .ok_or("lacks region.startLine")?;
+    if line < 1.0 || line.fract() != 0.0 {
+        return Err(format!("startLine must be a positive integer, got {line}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UsedAllow;
+
+    fn sample_report() -> Report {
+        Report {
+            violations: vec![Finding {
+                rule: "determinism",
+                rel: "crates/core/src/batching.rs".into(),
+                line: 42,
+                message: "plan-affecting `Foo::decide` reaches wall-clock read".into(),
+                level: Level::Error,
+                chain: vec![
+                    (
+                        "crates/core/src/batching.rs".into(),
+                        42,
+                        "`Foo::decide` calls `wobble`".into(),
+                    ),
+                    (
+                        "crates/workloads/src/gen.rs".into(),
+                        7,
+                        "wall-clock read".into(),
+                    ),
+                ],
+            }],
+            notes: vec![Finding {
+                rule: "panic-path",
+                rel: "crates/cli/src/main.rs".into(),
+                line: 3,
+                message: "`.unwrap()` in `main` is reachable from `main`".into(),
+                level: Level::Note,
+                chain: Vec::new(),
+            }],
+            allows: vec![UsedAllow {
+                rule: "wall-clock",
+                rel: "crates/core/src/system.rs".into(),
+                line: 708,
+                reason: "reporting only, \"never\" a plan input".into(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn emitted_sarif_validates() {
+        let text = render(&sample_report());
+        validate_shape(&text).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts_and_suppression() {
+        let text = render(&sample_report());
+        let doc = parse_json(&text).unwrap();
+        let results = doc.path("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        let suppressed: Vec<_> = results
+            .iter()
+            .filter(|r| r.get("suppressions").is_some())
+            .collect();
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(
+            suppressed[0]
+                .path("suppressions")
+                .unwrap()
+                .as_arr()
+                .unwrap()[0]
+                .path("justification")
+                .and_then(Json::as_str),
+            Some("reporting only, \"never\" a plan input")
+        );
+    }
+
+    #[test]
+    fn validator_rejects_bad_shapes() {
+        assert!(validate_shape("{}").is_err());
+        assert!(validate_shape("{\"version\":\"2.1.0\"}").is_err());
+        let no_rule_decl = "{\"$schema\":\"x\",\"version\":\"2.1.0\",\"runs\":[{\
+            \"tool\":{\"driver\":{\"name\":\"l\",\"rules\":[]}},\
+            \"results\":[{\"ruleId\":\"ghost\",\"level\":\"error\",\
+            \"message\":{\"text\":\"m\"},\"locations\":[]}]}]}";
+        assert!(validate_shape(no_rule_decl)
+            .unwrap_err()
+            .contains("not declared"));
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json("{\"a\":[1,2.5,{\"b\":\"x\\n\\u0041\"}],\"c\":null}").unwrap();
+        assert_eq!(v.path("c"), Some(&Json::Null));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_num(), Some(2.5));
+        assert_eq!(arr[2].path("b").and_then(Json::as_str), Some("x\nA"));
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+}

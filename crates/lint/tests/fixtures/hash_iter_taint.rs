@@ -1,0 +1,20 @@
+// HashMap iteration order as a taint source: the helper lives in
+// `crates/workloads/` where the lexical `hash-iter` rule does not apply,
+// but a core router choice consumes its output, so the call-graph pass
+// reports the chain.
+
+//@ file: crates/workloads/src/table.rs
+pub fn shuffle(keys: &[u32]) -> Vec<u32> {
+    let mut m = HashMap::new();
+    for k in keys {
+        m.insert(*k, *k);
+    }
+    m.into_iter().map(|(k, _)| k).collect()
+}
+
+//@ file: crates/core/src/choose.rs
+impl Router {
+    pub fn route(&mut self, keys: &[u32]) -> u32 {
+        shuffle(keys)[0]
+    }
+}

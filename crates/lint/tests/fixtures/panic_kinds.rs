@@ -1,0 +1,22 @@
+// Panic-kind severities on a reachable path: division by a literal zero
+// is an error in the no-panic crates; slice/array indexing is always an
+// advisory note (the DES hot path indexes dense arrays by
+// construction-checked ids).
+
+//@ file: crates/core/src/driver.rs
+impl ServingSystem {
+    pub fn run(&mut self) {
+        let r = ratio(10, 2);
+        let v = first(&self.xs);
+        self.consume(r, v);
+    }
+}
+
+//@ file: crates/solver/src/kernel.rs
+pub fn ratio(total: usize, _n: usize) -> usize {
+    total / 0
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs[0]
+}

@@ -1,0 +1,33 @@
+// Panic reachability: `unreachable!` in a fn the serving loop calls is an
+// error; the same macro in dead code produces nothing (and so needs no
+// allow — the v1 scanner had no notion of reachability). A panic site in
+// an out-of-scope crate (cli) reachable from `main` is an advisory note.
+
+//@ file: crates/core/src/system.rs
+impl ServingSystem {
+    pub fn run_reported(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        if self.corrupt {
+            unreachable!("corrupt queue state");
+        }
+    }
+}
+
+fn dead_helper() {
+    todo!("nobody calls this; no finding, no allow needed")
+}
+
+//@ file: crates/cli/src/main.rs
+fn main() {
+    let n = parse_args().unwrap();
+    run(n);
+}
+
+fn parse_args() -> Option<u32> {
+    None
+}
+
+fn run(_n: u32) {}

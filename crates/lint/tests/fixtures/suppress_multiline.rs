@@ -1,0 +1,20 @@
+// Statement-span allow matching: an allow on the line where a chained
+// statement *starts* covers the `.unwrap()` on a continuation line (the
+// v1 scanner flagged this allow as unused). A stale allow on code that
+// trips nothing is still a `bad-allow` violation.
+
+//@ file: crates/core/src/policy.rs
+pub fn pick(items: &[u32]) -> u32 {
+    // lint:allow(no-panic) — upstream guarantees a non-empty set
+    let best = items
+        .iter()
+        .copied()
+        .max()
+        .unwrap();
+    best
+}
+
+pub fn stale(x: u32) -> u32 {
+    let y = x + 1; // lint:allow(no-panic) — stale: nothing here panics
+    y
+}

@@ -1,0 +1,21 @@
+// A cross-crate determinism-taint chain. The wall-clock read sits in
+// `crates/workloads/` — outside every lexical rule scope — so the v1
+// per-file scanner saw nothing anywhere. The v2 call-graph pass reports
+// the plan-affecting sink (`decide`) with the full chain to the source.
+
+//@ file: crates/workloads/src/gen.rs
+pub fn jitter() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn wobble(x: f64) -> f64 {
+    x + jitter()
+}
+
+//@ file: crates/core/src/batching/policy.rs
+impl JitteredPolicy {
+    pub fn decide(&mut self, base: f64) -> f64 {
+        wobble(base)
+    }
+}

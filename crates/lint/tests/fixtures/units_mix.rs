@@ -1,0 +1,19 @@
+// Sim-time unit mixing: raw arithmetic between identifiers whose suffixes
+// carry different units trips `sim-units`; same-unit arithmetic is clean,
+// and the solver eps helpers file is exempt by scope.
+
+//@ file: crates/sim/src/clock.rs
+pub fn horizon(window_secs: f64, grace_ms: f64, slack_secs: f64) -> f64 {
+    let deadline = window_secs + grace_ms;
+    let fine = window_secs + slack_secs;
+    deadline + fine
+}
+
+pub fn drain_rate(total_bytes: f64, window_secs: f64) -> f64 {
+    total_bytes - window_secs
+}
+
+//@ file: crates/solver/src/eps.rs
+pub fn near(tol_secs: f64, tol_ms: f64) -> f64 {
+    tol_secs + tol_ms
+}

@@ -1,0 +1,136 @@
+//! UI tests: each fixture under `tests/fixtures/` is a virtual
+//! mini-workspace (files delimited by `//@ file: <rel>` markers). The
+//! analyzer's text report must match the committed `<name>.expected`
+//! golden byte-for-byte, and the SARIF rendering of every fixture must
+//! pass the embedded 2.1.0 shape validator.
+//!
+//! Regenerate goldens after an intentional output change with:
+//!
+//! ```text
+//! PROTEUS_REGEN_GOLDEN=1 cargo test -p proteus-lint --test ui
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proteus_lint::{analyze, lexer, render_text, rules, sarif, SourceFile};
+
+/// Splits a fixture into virtual workspace files at `//@ file:` markers.
+fn split_fixture(text: &str) -> Vec<SourceFile> {
+    let mut files: Vec<SourceFile> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("//@ file: ") {
+            files.push(SourceFile {
+                rel: rest.trim().to_string(),
+                text: String::new(),
+            });
+        } else if let Some(cur) = files.last_mut() {
+            cur.text.push_str(line);
+            cur.text.push('\n');
+        }
+    }
+    files
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures found");
+    paths
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let regen = std::env::var("PROTEUS_REGEN_GOLDEN").is_ok();
+    for path in fixture_paths() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = fs::read_to_string(&path).unwrap();
+        let files = split_fixture(&text);
+        assert!(!files.is_empty(), "{name}: no `//@ file:` sections");
+        let report = analyze(&files);
+
+        // Every fixture's SARIF must pass the 2.1.0 shape validator.
+        sarif::validate_shape(&sarif::render(&report))
+            .unwrap_or_else(|e| panic!("{name}: SARIF shape invalid: {e}"));
+
+        let got = render_text(&report);
+        let golden = path.with_extension("expected");
+        if regen {
+            fs::write(&golden, &got).unwrap();
+            continue;
+        }
+        let want = fs::read_to_string(&golden).unwrap_or_default();
+        assert_eq!(
+            got,
+            want,
+            "{name}: report diverges from {}; if intentional, rerun with \
+             PROTEUS_REGEN_GOLDEN=1",
+            golden.display()
+        );
+    }
+}
+
+/// The acceptance demonstration for the v2 analyzer: a cross-crate
+/// nondeterminism chain the v1 per-file lexical scanner provably missed.
+/// The wall-clock read lives in `crates/workloads/` — outside every
+/// lexical rule scope — so scanning each file alone finds nothing, while
+/// the call-graph taint pass reports the full source→sink chain.
+#[test]
+fn cross_crate_chain_invisible_to_lexical_scan() {
+    let text = fs::read_to_string(fixtures_dir().join("taint_cross_fn.rs")).unwrap();
+    let files = split_fixture(&text);
+
+    for f in &files {
+        let hits = rules::lexical_scan(&f.rel, &lexer::lex(&f.text));
+        assert!(
+            hits.is_empty(),
+            "lexical scan alone should see nothing in {}, got {hits:?}",
+            f.rel
+        );
+    }
+
+    let report = analyze(&files);
+    let det: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "determinism")
+        .collect();
+    assert_eq!(det.len(), 1, "expected exactly one determinism finding");
+    let v = det[0];
+    assert!(v.rel.starts_with("crates/core/"), "anchored at the sink");
+    assert!(v.message.contains("decide"));
+    assert!(v.message.contains("Instant::now"));
+    assert!(
+        v.chain.len() >= 3,
+        "chain must span sink → intermediate → source, got {:?}",
+        v.chain
+    );
+}
+
+/// Reachability tightens the panic rules: an `unreachable!`/`todo!` that
+/// no root can reach produces no finding, so it needs no allow.
+#[test]
+fn unreachable_panic_sites_need_no_allow() {
+    let text = fs::read_to_string(fixtures_dir().join("panic_reach.rs")).unwrap();
+    let report = analyze(&split_fixture(&text));
+    assert!(
+        !report
+            .violations
+            .iter()
+            .chain(&report.notes)
+            .any(|v| v.message.contains("dead_helper")),
+        "dead code must not be reported"
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.rule == "panic-path" && v.message.contains("`unreachable!`")));
+}

@@ -151,6 +151,8 @@ impl<E> EventQueue<E> {
             let SlotState::Vacant { next_free } = self.slots[slot].state else {
                 // The free list links only vacant slots; anything else is
                 // queue corruption.
+                // lint:allow(panic-path) — corruption invariant; a silent
+                // fallback here would mask heap-state bugs, not fix them
                 unreachable!("free list points at a non-vacant slot");
             };
             self.free_head = next_free;
@@ -254,6 +256,8 @@ impl<E> EventQueue<E> {
                 SlotState::Vacant { .. } => {
                     // Every queue entry owns its slot until popped; a vacant
                     // slot here is queue corruption.
+                    // lint:allow(panic-path) — corruption invariant; a silent
+                    // fallback here would mask heap-state bugs, not fix them
                     unreachable!("queue entry references a vacant slot");
                 }
             }

@@ -190,6 +190,9 @@ impl MilpSolver {
         lp: &LinearProgram,
         hint: Option<&[f64]>,
     ) -> (Result<Solution, SolveError>, SolveStats) {
+        // lint:allow(wall-clock) — stats-only wall timing, reported upward
+        // like the system.rs solver-latency probes; the solve itself is
+        // deterministic (node budgets, not time budgets, bound the search)
         let start = Instant::now();
         let mut stats = SolveStats::default();
         let result = self.branch_and_bound(lp, hint, &mut stats);
@@ -213,7 +216,9 @@ impl MilpSolver {
         if lp.num_integers() == 0 {
             stats.nodes = 1;
             stats.cold_solves = 1;
-            let result = ws.cold_solve(lp, &root_bounds).map(|()| ws.extract(lp));
+            let result = ws
+                .cold_solve(lp, &root_bounds)
+                .and_then(|()| ws.extract(lp));
             stats.simplex_iterations = ws.iterations;
             return result;
         }
@@ -398,7 +403,7 @@ impl MilpSolver {
             match ws.warm_solve(bounds) {
                 WarmResult::Solved => {
                     stats.warm_starts += 1;
-                    return Ok(ws.extract(lp));
+                    return ws.extract(lp);
                 }
                 WarmResult::Infeasible => {
                     stats.warm_starts += 1;
@@ -409,7 +414,7 @@ impl MilpSolver {
         }
         stats.cold_solves += 1;
         ws.cold_solve(lp, bounds)?;
-        Ok(ws.extract(lp))
+        ws.extract(lp)
     }
 }
 

@@ -69,6 +69,10 @@ pub enum SolveError {
     /// The branch-and-bound node budget was exhausted before proving
     /// optimality and no incumbent was found.
     NodeLimit,
+    /// A solver invariant was violated (e.g. extracting a solution from a
+    /// workspace whose tableau is missing). Indicates a bug in the solver
+    /// itself, surfaced as a value instead of a panic.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SolveError {
@@ -77,6 +81,7 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => f.write_str("problem is infeasible"),
             SolveError::Unbounded => f.write_str("problem is unbounded"),
             SolveError::NodeLimit => f.write_str("node limit reached without an incumbent"),
+            SolveError::Internal(what) => write!(f, "solver invariant violated: {what}"),
         }
     }
 }

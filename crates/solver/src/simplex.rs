@@ -112,7 +112,7 @@ pub fn solve_with_bounds(
 ) -> Result<Solution, SolveError> {
     let mut ws = Workspace::new();
     ws.cold_solve(lp, bounds)?;
-    Ok(ws.extract(lp))
+    ws.extract(lp)
 }
 
 /// A reusable simplex state: tableau, basis and reduced costs survive
@@ -254,13 +254,15 @@ impl Workspace {
 
     /// Reads the optimal solution out of the workspace.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no solve has succeeded.
-    pub(crate) fn extract(&self, lp: &LinearProgram) -> Solution {
-        // lint:allow(no-panic) — documented API contract: callers invoke
-        // extract() only after a successful solve populated the tableau.
-        let tab = self.tab.as_ref().expect("extract() before a solve");
+    /// Returns [`SolveError::Internal`] if no solve has succeeded (the
+    /// tableau is missing) or the basis is inconsistent. Both indicate a
+    /// solver bug, not a property of the input program.
+    pub(crate) fn extract(&self, lp: &LinearProgram) -> Result<Solution, SolveError> {
+        let Some(tab) = self.tab.as_ref() else {
+            return Err(SolveError::Internal("extract() before a solve"));
+        };
         let mut values = vec![0.0f64; tab.n];
         for (j, value) in values.iter_mut().enumerate() {
             *value = match tab.state[j] {
@@ -269,9 +271,7 @@ impl Workspace {
                 ColState::Basic => {
                     let r = (0..tab.m)
                         .find(|&r| tab.basis[r] == j)
-                        // lint:allow(no-panic) — tableau invariant: every
-                        // Basic column has exactly one basis row.
-                        .expect("basic column missing from basis");
+                        .ok_or(SolveError::Internal("basic column missing from basis"))?;
                     tab.xb[r]
                 }
             };
@@ -284,7 +284,7 @@ impl Workspace {
             }
         }
         let objective = lp.objective_value(&values);
-        Solution { values, objective }
+        Ok(Solution { values, objective })
     }
 }
 

@@ -229,13 +229,13 @@ fn warm_restart_after_tightening_matches_cold() {
 
     let mut ws = Workspace::new();
     ws.cold_solve(&lp, &lp.all_bounds()).unwrap();
-    let parent = ws.extract(&lp);
+    let parent = ws.extract(&lp).unwrap();
     assert_close(parent.value(x), 3.0);
     assert_close(parent.value(y), 1.5);
 
     let child_bounds = vec![(0.0, 3.0), (0.0, f64::INFINITY)];
     assert_eq!(ws.warm_solve(&child_bounds), WarmResult::Solved);
-    let warm = ws.extract(&lp);
+    let warm = ws.extract(&lp).unwrap();
     let cold = solve_with_bounds(&lp, &child_bounds).unwrap();
     assert_close(warm.objective(), cold.objective());
 
@@ -243,7 +243,7 @@ fn warm_restart_after_tightening_matches_cold() {
     let sibling_bounds = vec![(4.0, f64::INFINITY), (0.0, f64::INFINITY)];
     match ws.warm_solve(&sibling_bounds) {
         WarmResult::Solved => {
-            let warm = ws.extract(&lp);
+            let warm = ws.extract(&lp).unwrap();
             let cold = solve_with_bounds(&lp, &sibling_bounds).unwrap();
             assert_close(warm.objective(), cold.objective());
         }
@@ -268,7 +268,7 @@ fn warm_restart_detects_infeasible_child() {
     // The workspace survives an infeasible probe: the original bounds
     // re-solve warm to the original optimum.
     match ws.warm_solve(&[(0.0, 10.0), (0.0, 10.0)]) {
-        WarmResult::Solved => assert_close(ws.extract(&lp).objective(), 2.0),
+        WarmResult::Solved => assert_close(ws.extract(&lp).unwrap().objective(), 2.0),
         other => panic!("expected warm solve, got {other:?}"),
     }
 }
@@ -310,9 +310,12 @@ fn warm_restart_chain_stays_exact() {
             }
         }
         let warm = match ws.warm_solve(&bounds) {
-            WarmResult::Solved => Some(ws.extract(&lp)),
+            WarmResult::Solved => ws.extract(&lp).ok(),
             WarmResult::Infeasible => None,
-            WarmResult::NeedCold => ws.cold_solve(&lp, &bounds).ok().map(|()| ws.extract(&lp)),
+            WarmResult::NeedCold => ws
+                .cold_solve(&lp, &bounds)
+                .ok()
+                .and_then(|()| ws.extract(&lp).ok()),
         };
         let cold = solve_with_bounds(&lp, &bounds).ok();
         match (warm, cold) {

@@ -202,6 +202,19 @@ fn describe(kind: &EventKind) -> String {
             fmt_f(*long_secs, 0),
             fmt_f(*short_secs, 0),
         ),
+        EventKind::SolveStarted { cause, until } => format!(
+            "solve started ({}), plan commits at {} ms",
+            cause.label(),
+            ms(*until)
+        ),
+        EventKind::SolveComplete { cause } => {
+            format!("solve complete ({}), new plan committing", cause.label())
+        }
+        EventKind::PlanDiscarded { cause, reason } => format!(
+            "in-flight plan ({}) DISCARDED ({})",
+            cause.label(),
+            reason.label()
+        ),
     }
 }
 
@@ -233,13 +246,17 @@ fn verdict_line(v: &BlameVerdict) -> String {
     if v.cause == BlameCause::Shed {
         return "shed (rejected at admission)".to_string();
     }
-    format!(
+    let mut line = format!(
         "{} (waited {} ms queueing, {} ms model-load, {} ms batch-wait)",
         v.cause.label(),
         ms(v.queueing),
         ms(v.model_load),
         ms(v.batch_wait)
-    )
+    );
+    if v.stale_plan > proteus_sim::SimTime::ZERO {
+        let _ = write!(line, " [{} ms under a stale plan]", ms(v.stale_plan));
+    }
+    line
 }
 
 /// `trace-query <file> blame`: per-cause counts, then every verdict.
@@ -267,6 +284,14 @@ fn render_blame(events: &[TraceEvent]) -> String {
     }
     out.push_str(&t.render());
     out.push('\n');
+    let stale = report.stale_affected();
+    if stale > 0 {
+        let _ = writeln!(
+            out,
+            "{stale} violation(s) overlapped an open solve window (stale plan); \
+             overlap shown per verdict below"
+        );
+    }
     for v in &report.verdicts {
         let _ = writeln!(
             out,

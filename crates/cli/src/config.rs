@@ -109,6 +109,11 @@ pub struct ExperimentConfig {
     pub realloc_period_secs: f64,
     /// Demand headroom β (artifact default 1.05).
     pub beta: f64,
+    /// Control-plane solve latency: how long after a replan trigger the
+    /// new plan commits (`solve_latency = zero | model | fixed:SECS`, or
+    /// the `--solve-latency` flag). `zero` preserves the legacy
+    /// solve-and-apply-in-the-same-instant behaviour.
+    pub solve_latency: proteus_core::SolveLatency,
     /// Output format.
     pub output: OutputKind,
     /// Run the independent plan auditor on every replan and DES-invariant
@@ -150,6 +155,7 @@ impl Default for ExperimentConfig {
             cluster: (20, 10, 10),
             realloc_period_secs: 30.0,
             beta: 1.05,
+            solve_latency: proteus_core::SolveLatency::Zero,
             output: OutputKind::Summary,
             audit: false,
             faults: FaultSchedule::default(),
@@ -261,6 +267,9 @@ impl FromStr for ExperimentConfig {
                     config.realloc_period_secs = num(value)?
                 }
                 "beta" => config.beta = num(value)?,
+                "solve_latency" => {
+                    config.solve_latency = value.parse().map_err(|e: String| bad(e))?;
+                }
                 "faults" => {
                     config.faults = value
                         .parse()
@@ -454,6 +463,32 @@ mod tests {
             .parse::<ExperimentConfig>()
             .unwrap_err();
         assert!(err.reason.contains("telemetry_objective"));
+    }
+
+    #[test]
+    fn parses_solve_latency() {
+        use proteus_core::SolveLatency;
+        // Legacy instant-commit behaviour is the default.
+        assert_eq!(
+            ExperimentConfig::default().solve_latency,
+            SolveLatency::Zero
+        );
+        for (text, want) in [
+            ("solve_latency = zero", SolveLatency::Zero),
+            ("solve_latency = model", SolveLatency::Model),
+            ("solve_latency = fixed:4.2", SolveLatency::Fixed(4.2)),
+        ] {
+            let c: ExperimentConfig = text.parse().unwrap();
+            assert_eq!(c.solve_latency, want, "{text}");
+        }
+        let err = "solve_latency = warp"
+            .parse::<ExperimentConfig>()
+            .unwrap_err();
+        assert!(err.reason.contains("solve latency"), "{}", err.reason);
+        let err = "solve_latency = fixed:-1"
+            .parse::<ExperimentConfig>()
+            .unwrap_err();
+        assert!(err.reason.contains("positive"), "{}", err.reason);
     }
 
     #[test]

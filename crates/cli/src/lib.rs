@@ -18,4 +18,4 @@
 pub mod config;
 mod runner;
 
-pub use runner::{run_experiment, run_experiment_traced, ExperimentOutput};
+pub use runner::{fingerprint, run_experiment, run_experiment_traced, ExperimentOutput};

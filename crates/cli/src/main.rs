@@ -27,6 +27,7 @@ slo_multiplier = 2.0
 cluster = 20, 10, 10       # CPU, GTX 1080 Ti, V100 workers
 realloc_period = 30
 beta = 1.05
+solve_latency = zero       # zero | model | fixed:SECS (control-plane solve window)
 output = summary           # summary | timeseries | families | latency
 # faults = crash@300:31; recover@600:31; loadfail@0.05   # fault injection
 telemetry = off            # on: windowed metrics + SLO burn-rate alerts
@@ -37,6 +38,7 @@ telemetry_objective = 0.95 # on-time SLO objective for burn-rate alerts
 
 const USAGE: &str = "\
 usage: proteus <config-file> [--audit] [--faults <spec>]
+               [--solve-latency zero|model|fixed:SECS] [--fingerprint]
                [--trace <path>] [--trace-format jsonl|chrome]
                [--live] [--telemetry-out <path>] [--telemetry-http <port>]
        proteus --print-default-config
@@ -51,6 +53,12 @@ Runs a Proteus inference-serving experiment described by a
                           crash@<secs>:<dev>, recover@<secs>:<dev>,
                           slow@<start>-<end>:<dev>x<factor>, loadfail@<p>
                           (overrides the config's `faults` key)
+  --solve-latency <spec>  control-plane solve window: zero (legacy
+                          instant commit), model (deterministic cost
+                          model from solver work), or fixed:SECS
+                          (overrides the config's `solve_latency` key)
+  --fingerprint           print one deterministic line digesting the
+                          run's simulated behaviour (for diffing runs)
   --trace <path>          record flight-recorder events to <path>
   --trace-format <fmt>    jsonl (default; analyse with trace-query) or
                           chrome (open in chrome://tracing or Perfetto)
@@ -76,6 +84,8 @@ struct CliArgs {
     trace_format: TraceFormat,
     audit: bool,
     faults: Option<String>,
+    solve_latency: Option<proteus_core::SolveLatency>,
+    fingerprint: bool,
     live: bool,
     telemetry_out: Option<String>,
     telemetry_http: Option<u16>,
@@ -88,6 +98,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut trace_format = TraceFormat::Jsonl;
     let mut audit = false;
     let mut faults = None;
+    let mut solve_latency = None;
+    let mut fingerprint = false;
     let mut live = false;
     let mut telemetry_out = None;
     let mut telemetry_http = None;
@@ -99,6 +111,11 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 let spec = it.next().ok_or("--faults needs a schedule spec")?;
                 faults = Some(spec.clone());
             }
+            "--solve-latency" => {
+                let spec = it.next().ok_or("--solve-latency needs a value")?;
+                solve_latency = Some(spec.parse()?);
+            }
+            "--fingerprint" => fingerprint = true,
             "--live" => live = true,
             "--telemetry-out" => {
                 let path = it.next().ok_or("--telemetry-out needs a file path")?;
@@ -140,6 +157,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         trace_format,
         audit,
         faults,
+        solve_latency,
+        fingerprint,
         live,
         telemetry_out,
         telemetry_http,
@@ -213,6 +232,9 @@ fn main() -> ExitCode {
             };
             config.audit |= cli.audit;
             config.live |= cli.live;
+            if let Some(sl) = cli.solve_latency {
+                config.solve_latency = sl;
+            }
             if cli.telemetry_out.is_some() {
                 config.telemetry_out = cli.telemetry_out.clone();
             }
@@ -246,6 +268,9 @@ fn main() -> ExitCode {
             match run(&config, &cli) {
                 Ok(output) => {
                     print!("{}", output.report);
+                    if cli.fingerprint {
+                        println!("{}", proteus_cli::fingerprint(&output.outcome));
+                    }
                     if config.audit {
                         let o = &output.outcome;
                         eprintln!(
@@ -334,6 +359,26 @@ mod tests {
         assert_eq!(c.telemetry_http, Some(9090));
         let c = parse_args(&argv(&["exp.conf"])).unwrap();
         assert!(!c.live && c.telemetry_out.is_none() && c.telemetry_http.is_none());
+    }
+
+    #[test]
+    fn parses_solve_latency_and_fingerprint_flags() {
+        use proteus_core::SolveLatency;
+        let c = parse_args(&argv(&[
+            "exp.conf",
+            "--solve-latency",
+            "model",
+            "--fingerprint",
+        ]))
+        .unwrap();
+        assert_eq!(c.solve_latency, Some(SolveLatency::Model));
+        assert!(c.fingerprint);
+        let c = parse_args(&argv(&["exp.conf", "--solve-latency", "fixed:2.5"])).unwrap();
+        assert_eq!(c.solve_latency, Some(SolveLatency::Fixed(2.5)));
+        let c = parse_args(&argv(&["exp.conf"])).unwrap();
+        assert!(c.solve_latency.is_none() && !c.fingerprint);
+        assert!(parse_args(&argv(&["exp.conf", "--solve-latency", "warp"])).is_err());
+        assert!(parse_args(&argv(&["exp.conf", "--solve-latency"])).is_err());
     }
 
     #[test]

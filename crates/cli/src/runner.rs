@@ -91,6 +91,7 @@ pub fn run_experiment_traced(
     system_config.slo = SloPolicy::with_multiplier(config.slo_multiplier);
     system_config.realloc_period_secs = config.realloc_period_secs;
     system_config.demand_headroom = config.beta;
+    system_config.solve_latency = config.solve_latency;
     system_config.seed = config.seed;
     system_config.audit = config.audit;
     system_config.faults = config.faults.clone();
@@ -173,11 +174,63 @@ fn replan_log_line(outcome: &RunOutcome) -> Option<String> {
     let mean_wall_ms = outcome.replan_log.iter().map(|r| r.wall_secs).sum::<f64>()
         / outcome.replan_log.len() as f64
         * 1e3;
-    Some(format!(
-        "{} (mean wall {} ms)",
+    let mut line = format!(
+        "{} (mean wall {} ms",
         parts.join(" "),
         fmt_f(mean_wall_ms, 2)
-    ))
+    );
+    // Simulated trigger-to-commit delay: only interesting once the solve
+    // window is nonzero, so zero-latency reports keep their old shape.
+    let mean_solve = outcome.replan_log.iter().map(|r| r.solve_secs).sum::<f64>()
+        / outcome.replan_log.len() as f64;
+    if mean_solve > 0.0 {
+        line.push_str(&format!(", mean commit delay {} s", fmt_f(mean_solve, 2)));
+    }
+    line.push(')');
+    Some(line)
+}
+
+/// One deterministic line identifying a run's simulated behaviour.
+///
+/// Covers the headline counters plus an FNV-1a digest over every
+/// replan record's *simulated* fields (trigger/commit instants, cause,
+/// plan deltas, demand snapshots). Wall-clock solver timings are
+/// deliberately excluded: two runs of the same config must print the
+/// same fingerprint on any machine. The CI determinism gate diffs this
+/// line across back-to-back runs.
+pub fn fingerprint(outcome: &RunOutcome) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in &outcome.replan_log {
+        eat(&r.at.as_nanos().to_le_bytes());
+        eat(&r.committed_at.as_nanos().to_le_bytes());
+        eat(r.cause.label().as_bytes());
+        eat(&r.changed.to_le_bytes());
+        eat(&r.shrink.to_bits().to_le_bytes());
+        for (_, v) in r.observed.iter() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        for (_, v) in r.target.iter() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    let s = outcome.metrics.summary();
+    format!(
+        "fingerprint: served={} dropped={} violation_ratio={} eff_acc={} \
+         reallocs={} discarded={} coalesced={} replan_digest={hash:016x}",
+        s.total_served,
+        s.total_dropped,
+        fmt_f(s.slo_violation_ratio, 6),
+        fmt_f(s.effective_accuracy_pct(), 4),
+        outcome.reallocations,
+        outcome.plans_discarded,
+        outcome.replans_coalesced,
+    )
 }
 
 fn render(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
@@ -229,6 +282,18 @@ fn render_body(config: &ExperimentConfig, outcome: &RunOutcome) -> String {
                 "re-allocations".into(),
                 outcome.reallocations.to_string(),
             ]);
+            if outcome.plans_discarded > 0 {
+                t.row(vec![
+                    "plans discarded".into(),
+                    outcome.plans_discarded.to_string(),
+                ]);
+            }
+            if outcome.replans_coalesced > 0 {
+                t.row(vec![
+                    "replans coalesced".into(),
+                    outcome.replans_coalesced.to_string(),
+                ]);
+            }
             if outcome.plan_audits > 0 {
                 t.row(vec![
                     "plan audits".into(),

@@ -76,4 +76,4 @@ pub use batching::{BatchContext, BatchDecision, BatchPolicy};
 pub use demand::{DemandEstimator, FamilyMap};
 pub use query::{Query, QueryId};
 pub use schedulers::{AllocContext, Allocator};
-pub use system::{RunOutcome, ServingSystem, SystemConfig};
+pub use system::{RunOutcome, ServingSystem, SolveLatency, SystemConfig};

@@ -109,6 +109,105 @@ pub struct SystemConfig {
     /// it entirely off: every hook site reduces to one untaken branch and
     /// the event stream is byte-identical to a build without this field.
     pub telemetry: Option<TelemetryConfig>,
+    /// How long the control plane takes to produce a plan, in *sim* time
+    /// (§6.8 reports ~4.2 s MILP solves against a 30 s planning period).
+    /// [`SolveLatency::Zero`] (the default) commits plans at the trigger
+    /// instant, preserving historical event streams byte-for-byte.
+    pub solve_latency: SolveLatency,
+}
+
+/// Simulated control-plane latency: the time between a replan trigger and
+/// the new plan taking effect, during which the system keeps serving under
+/// the old (stale) plan.
+///
+/// The delay is always derived from *deterministic* inputs — fixed
+/// configuration or the solver's own search counters — never from measured
+/// wall time, so runs stay byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SolveLatency {
+    /// Plans are solved and applied in the same sim instant (the historical
+    /// behaviour; keeps existing fingerprints and golden traces).
+    #[default]
+    Zero,
+    /// Every solve takes exactly this many seconds.
+    Fixed(f64),
+    /// Cost model calibrated from [`SolveStats`] search counters
+    /// (branch-and-bound nodes, simplex pivots): lands near the paper's
+    /// ~4.2 s at the fig4 operating point and scales with instance
+    /// hardness. Allocators that expose no solver statistics (the
+    /// heuristic baselines) are charged the base cost only.
+    Model,
+}
+
+/// Base seconds of every modeled solve: problem build + solver startup.
+/// Calibrated with the per-node/per-pivot rates so the fig4 operating
+/// point (~8.6 nodes, ~325 pivots per solve) lands near the paper's
+/// reported ~4.2 s MILP solve time (§6.8).
+const SOLVE_MODEL_BASE_SECS: f64 = 3.0;
+/// Modeled seconds per branch-and-bound node explored.
+const SOLVE_MODEL_SECS_PER_NODE: f64 = 0.15;
+/// Modeled seconds per simplex pivot.
+const SOLVE_MODEL_SECS_PER_PIVOT: f64 = 1.0e-3;
+/// Ceiling on a modeled solve, seconds (a solve longer than the planning
+/// period would starve the control loop entirely).
+const SOLVE_MODEL_MAX_SECS: f64 = 20.0;
+
+impl SolveLatency {
+    /// The simulated solve duration, or `None` for the zero-latency
+    /// (synchronous-commit) mode. `stats` is the just-finished solve's
+    /// search counters, when the allocator is solver-backed.
+    fn delay(self, stats: Option<&SolveStats>) -> Option<SimTime> {
+        match self {
+            SolveLatency::Zero => None,
+            SolveLatency::Fixed(secs) => Some(SimTime::from_secs_f64(secs.max(1e-9))),
+            SolveLatency::Model => {
+                let secs = match stats {
+                    Some(s) => (SOLVE_MODEL_BASE_SECS
+                        + SOLVE_MODEL_SECS_PER_NODE * s.nodes as f64
+                        + SOLVE_MODEL_SECS_PER_PIVOT * s.simplex_iterations as f64)
+                        .min(SOLVE_MODEL_MAX_SECS),
+                    None => SOLVE_MODEL_BASE_SECS,
+                };
+                Some(SimTime::from_secs_f64(secs))
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for SolveLatency {
+    type Err = String;
+
+    /// Parses `zero`, `model`, or `fixed:<secs>`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "zero" => Ok(SolveLatency::Zero),
+            "model" => Ok(SolveLatency::Model),
+            _ => match s.strip_prefix("fixed:") {
+                Some(secs) => {
+                    let secs: f64 = secs
+                        .parse()
+                        .map_err(|_| format!("bad fixed solve latency: {s:?}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!("fixed solve latency must be positive, got {secs}"));
+                    }
+                    Ok(SolveLatency::Fixed(secs))
+                }
+                None => Err(format!(
+                    "unknown solve latency {s:?} (expected zero, model, or fixed:<secs>)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SolveLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveLatency::Zero => write!(f, "zero"),
+            SolveLatency::Fixed(secs) => write!(f, "fixed:{secs}"),
+            SolveLatency::Model => write!(f, "model"),
+        }
+    }
 }
 
 /// Configuration of the §7 hardware-scaling tandem extension.
@@ -164,6 +263,7 @@ impl SystemConfig {
             elastic: None,
             faults: FaultSchedule::default(),
             telemetry: None,
+            solve_latency: SolveLatency::Zero,
         }
     }
 
@@ -191,10 +291,19 @@ pub struct RunOutcome {
     /// Per-query metrics, bucketed at one second.
     pub metrics: MetricsCollector,
     /// How many times the Resource Manager produced a new plan (including
-    /// the initial allocation).
+    /// the initial allocation). Under nonzero [`SolveLatency`] this counts
+    /// *committed* plans only; discarded in-flight solves are in
+    /// [`RunOutcome::plans_discarded`].
     pub reallocations: u32,
     /// How many of those were burst-triggered rather than periodic.
     pub burst_reallocations: u32,
+    /// In-flight plans discarded before commit (a device failed or
+    /// recovered mid-solve, invalidating the liveness set the solve ran
+    /// against). Always 0 under [`SolveLatency::Zero`].
+    pub plans_discarded: u32,
+    /// Replan triggers folded into an already-running solve (or into a
+    /// same-instant earlier trigger) instead of starting their own.
+    pub replans_coalesced: u32,
     /// Wall-clock seconds spent inside the allocator (§6.8 overhead).
     pub allocator_wall_secs: f64,
     /// MILP solver statistics accumulated over every re-allocation (nodes,
@@ -243,16 +352,29 @@ pub struct HotPathStats {
 /// One Resource Manager invocation: what triggered it and what it cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplanRecord {
-    /// When the controller was invoked.
+    /// When the controller was invoked (the demand snapshot instant).
     pub at: SimTime,
+    /// When the plan took effect. Equal to [`at`](Self::at) under
+    /// [`SolveLatency::Zero`]; later by the modeled solve window otherwise.
+    pub committed_at: SimTime,
     /// What prompted the invocation.
     pub cause: ReplanCause,
-    /// Wall-clock seconds inside the allocator.
+    /// Wall-clock seconds inside the allocator (stats only — never feeds
+    /// back into sim behaviour).
     pub wall_secs: f64,
+    /// Modeled control-plane latency in *sim* seconds (0 under
+    /// [`SolveLatency::Zero`]).
+    pub solve_secs: f64,
     /// Devices whose variant assignment changed under the new plan.
     pub changed: u32,
     /// Demand shrink factor the plan applied for feasibility (1.0 = none).
     pub shrink: f64,
+    /// The raw observed per-family demand at the trigger instant (the
+    /// burst detector's baseline).
+    pub observed: FamilyMap<f64>,
+    /// The headroom-scaled demand the allocator actually solved for —
+    /// what the plan auditor checks the plan against.
+    pub target: FamilyMap<f64>,
 }
 
 /// Execution statistics of one worker device over a run.
@@ -330,6 +452,20 @@ enum Event {
     },
     MonitorTick,
     Reallocate,
+    /// The control plane finished a solve that began `δ` ago (nonzero
+    /// [`SolveLatency`] only). The id rejects completions of solves that
+    /// were discarded mid-window.
+    SolveComplete {
+        id: u64,
+    },
+    /// A staged (background) variant load finished: the worker kept
+    /// serving its old variant for the whole window and switches now.
+    /// Generation-tagged like [`Event::LoadDone`] so a crash or a newer
+    /// plan invalidates it.
+    StagedLoadDone {
+        device: u32,
+        generation: u64,
+    },
     /// §7 tandem extension: an ordered device comes online.
     ProvisionReady(proteus_profiler::DeviceType),
     /// One-shot re-allocation after a provisioning batch lands (scheduled
@@ -455,6 +591,14 @@ impl ServingSystem {
             pool_reused: 0,
             pool_alloc: 0,
             replan_log: Vec::new(),
+            pending_solve: None,
+            queued_cause: None,
+            next_solve_id: 0,
+            last_solve_key: None,
+            liveness_epoch: 0,
+            plans_discarded: 0,
+            replans_coalesced: 0,
+            staged_target: vec![None; n],
             plan_audits: 0,
             audit_violations: 0,
             telemetry: self
@@ -545,6 +689,8 @@ impl ServingSystem {
             metrics: engine.metrics,
             reallocations: engine.reallocations,
             burst_reallocations: engine.burst_reallocations,
+            plans_discarded: engine.plans_discarded,
+            replans_coalesced: engine.replans_coalesced,
             allocator_wall_secs: engine.allocator_wall_secs,
             solver_stats: engine.solver_stats,
             shrunk_plans: engine.shrunk_plans,
@@ -576,6 +722,25 @@ const MAX_LOAD_ATTEMPTS: u32 = 3;
 
 /// Cap on the load-retry backoff exponent (delay × 2^attempt, at most 2^3).
 const LOAD_BACKOFF_CAP: u32 = 3;
+
+/// A solved-but-not-yet-committed plan: the control plane is inside its
+/// modeled solve window and the system is still serving under the old plan.
+#[derive(Debug)]
+struct PendingSolve {
+    /// Matches [`Event::SolveComplete`]; a discarded solve's completion
+    /// event finds a different (or no) pending id and is ignored.
+    id: u64,
+    /// The trigger instant (when demand was snapshotted).
+    started: SimTime,
+    cause: ReplanCause,
+    plan: AllocationPlan,
+    /// Headroom-scaled demand the allocator solved for.
+    demand: FamilyMap<f64>,
+    /// Raw observed demand at the trigger (pre-headroom).
+    observed: FamilyMap<f64>,
+    /// Real allocator wall time (stats only).
+    wall_secs: f64,
+}
 
 /// Shadow copy of an executing batch, kept so a device crash can salvage
 /// the in-flight queries (the DES kernel cancels by key and does not hand
@@ -671,6 +836,30 @@ struct Engine<'a> {
     pool_reused: u64,
     pool_alloc: u64,
     replan_log: Vec<ReplanRecord>,
+    /// The solve currently in flight, if any (nonzero [`SolveLatency`]).
+    pending_solve: Option<PendingSolve>,
+    /// Freshest trigger that arrived while a solve was in flight; the
+    /// commit path starts one re-solve with refreshed demand for it.
+    queued_cause: Option<ReplanCause>,
+    /// Monotone id source for [`Event::SolveComplete`] matching.
+    next_solve_id: u64,
+    /// `(instant, liveness epoch)` of the most recent solve start: a
+    /// second trigger at the identical timestamp under the identical
+    /// liveness set coalesces instead of double-solving.
+    last_solve_key: Option<(SimTime, u64)>,
+    /// Bumped whenever the set of usable devices changes (crash, recovery,
+    /// provisioned device coming online), so same-instant coalescing never
+    /// suppresses a replan that sees a different cluster.
+    liveness_epoch: u64,
+    /// In-flight plans discarded before commit.
+    plans_discarded: u32,
+    /// Triggers folded into an already-pending solve or a same-instant
+    /// earlier one.
+    replans_coalesced: u32,
+    /// Per-device staged variant: the worker keeps serving its current
+    /// variant while this one "loads in the background"; swapped in by
+    /// [`Event::StagedLoadDone`].
+    staged_target: Vec<Option<VariantId>>,
     /// Times the independent plan auditor ran.
     plan_audits: u32,
     /// Violations found by plan audits (accumulated into the outcome).
@@ -811,6 +1000,11 @@ impl Engine<'_> {
         };
         let demand = provision.scaled(self.config.demand_headroom);
         self.planned_for = *provision;
+        // The initial allocation is synchronous regardless of the solve
+        // latency model: it happens before the trace starts, with models
+        // pre-loaded. It still claims the solve key so a same-instant
+        // trigger at t = 0 coalesces.
+        self.last_solve_key = Some((SimTime::ZERO, self.liveness_epoch));
         // lint:allow(wall-clock) — measures real solver wall time for
         // SolveStats reporting; the result never feeds sim logic.
         let start = std::time::Instant::now();
@@ -842,10 +1036,14 @@ impl Engine<'_> {
         self.plan = plan;
         self.replan_log.push(ReplanRecord {
             at: SimTime::ZERO,
+            committed_at: SimTime::ZERO,
             cause: ReplanCause::Initial,
             wall_secs,
+            solve_secs: 0.0,
             changed,
             shrink,
+            observed: *provision,
+            target: demand,
         });
         if self.trace_on {
             self.emit(SimTime::ZERO, EventKind::PlanApplied { changed, shrink });
@@ -900,6 +1098,18 @@ impl Engine<'_> {
         );
     }
 
+    /// Whether `device` can hold both variants' weights at once — the
+    /// precondition for a staged (serve-old-while-loading-new) swap.
+    fn staged_swap_fits(&self, device: usize, old: VariantId, new: VariantId) -> bool {
+        let mem = |v| {
+            self.config
+                .zoo
+                .variant(v)
+                .map_or(f64::INFINITY, |s| s.memory_mib())
+        };
+        mem(old) + mem(new) <= self.workers[device].spec().device_type.memory_mib()
+    }
+
     fn load_delay(&mut self, variant: Option<VariantId>) -> SimTime {
         let Some(v) = variant else {
             return SimTime::ZERO;
@@ -911,6 +1121,8 @@ impl Engine<'_> {
             .map_or(0.0, |s| s.memory_mib() / 1024.0);
         let mut secs = self.config.load_base_secs + self.config.load_secs_per_gib * gib;
         if self.config.startup_noise_secs > 0.0 {
+            // lint:allow(wall-clock) — `self.rng` is the run's seed-derived
+            // PCG stream, not OS randomness; draws here are reproducible.
             secs += self.config.startup_noise_secs * rand::Rng::random::<f64>(&mut self.rng);
         }
         SimTime::from_secs_f64(secs)
@@ -1165,6 +1377,17 @@ impl Engine<'_> {
             }
             let new = plan.assignment(proteus_profiler::DeviceId(i as u32));
             let old = self.workers[i].variant();
+            // A still-pending staged swap from an older plan: the new plan
+            // either confirms it (the background load just continues) or
+            // overrides it (cancel; the device keeps serving `old` and the
+            // retarget logic below decides what happens next).
+            if let Some(staged) = self.staged_target[i] {
+                if new == Some(staged) {
+                    continue;
+                }
+                self.staged_target[i] = None;
+                self.workers[i].load_generation += 1;
+            }
             if new == old {
                 continue;
             }
@@ -1175,6 +1398,35 @@ impl Engine<'_> {
                 (None, Some(_)) => false,
                 (_, None) => true,
             };
+            // Staged transition (nonzero solve latency only): a same-family
+            // swap where both variants fit in device memory loads the new
+            // weights *alongside* the old — the worker keeps serving the
+            // old variant for the whole load window, so capacity never
+            // dips below both plans' minimum during the swap.
+            if self.config.solve_latency != SolveLatency::Zero {
+                if let (Some(o), Some(n)) = (old, new) {
+                    if o.family == n.family
+                        && !matches!(self.workers[i].state(), WorkerState::Loading(_))
+                        && self.staged_swap_fits(i, o, n)
+                    {
+                        let delay = self.load_delay(new);
+                        let worker = &mut self.workers[i];
+                        worker.pending_load = None;
+                        worker.load_generation += 1;
+                        let generation = worker.load_generation;
+                        self.staged_target[i] = Some(n);
+                        self.load_attempts[i] = 0;
+                        sim.schedule(
+                            now + delay,
+                            Event::StagedLoadDone {
+                                device: i as u32,
+                                generation,
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
             if family_changed {
                 displaced.extend(self.workers[i].drain_queue());
             }
@@ -1239,7 +1491,39 @@ impl Engine<'_> {
         self.routers[family.index()].route().map(|d| d.0 as usize)
     }
 
+    /// A replan trigger. Coalesces with a same-instant earlier trigger or
+    /// an in-flight solve; otherwise starts a solve.
     fn reallocate(&mut self, now: SimTime, cause: ReplanCause, sim: &mut Simulation<Event>) {
+        // Same-instant re-entrancy: a DeviceFailure replan fired from the
+        // fault handler plus a Periodic tick at the identical timestamp
+        // (and identical liveness set) must not double-solve.
+        if self.last_solve_key == Some((now, self.liveness_epoch)) {
+            self.replans_coalesced += 1;
+            return;
+        }
+        // Mid-solve trigger: fold into one pending re-solve. The commit
+        // path starts it with demand refreshed at commit time.
+        if self.pending_solve.is_some() {
+            if self.trace_on {
+                self.emit(now, EventKind::ReplanTriggered { cause });
+            }
+            self.queued_cause = Some(cause);
+            self.replans_coalesced += 1;
+            return;
+        }
+        self.begin_solve(now, cause, sim);
+    }
+
+    /// Snapshots demand, runs the allocator, and either commits the plan
+    /// in place ([`SolveLatency::Zero`]) or holds it as a [`PendingSolve`]
+    /// until the modeled solve window elapses — the system keeps serving
+    /// under the old plan for the whole window.
+    ///
+    /// This function is a determinism-taint sink for proteus-lint: the
+    /// `SolveComplete` event scheduled here is sim-visible, so no
+    /// nondeterministic value may flow into it.
+    fn begin_solve(&mut self, now: SimTime, cause: ReplanCause, sim: &mut Simulation<Event>) {
+        self.last_solve_key = Some((now, self.liveness_epoch));
         // Critical-path allocators (INFaaS) react to the raw last-second
         // rate — they decide per query, with no monitoring-daemon smoothing;
         // the decoupled controller plans on smoothed statistics.
@@ -1249,7 +1533,6 @@ impl Engine<'_> {
             self.estimator.for_planning()
         };
         let demand = observed.scaled(self.config.demand_headroom);
-        self.planned_for = observed;
         if self.trace_on {
             self.emit(now, EventKind::ReplanTriggered { cause });
         }
@@ -1260,7 +1543,8 @@ impl Engine<'_> {
             down: &self.down,
         };
         // lint:allow(wall-clock) — measures real solver wall time for
-        // SolveStats reporting; the result never feeds sim logic.
+        // SolveStats reporting; the result never feeds sim logic (the
+        // modeled solve window below is built from search counters).
         let start = std::time::Instant::now();
         let plan = self
             .allocator
@@ -1271,12 +1555,60 @@ impl Engine<'_> {
             t.on_phase(Phase::Solve, (wall_secs * 1e9) as u64);
             t.on_reallocation();
         }
-        if let Some(stats) = self.allocator.last_solve_stats() {
+        let stats = self.allocator.last_solve_stats();
+        if let Some(stats) = stats {
             self.solver_stats += stats;
             if self.trace_on {
                 self.emit_solve_stats(now, &stats);
             }
         }
+        // The burst cooldown anchors at the trigger: while the control
+        // plane is (or was just) working on a plan, a burst must not pile
+        // a second solve on top.
+        self.last_realloc = now;
+        let pending = PendingSolve {
+            id: self.next_solve_id + 1,
+            started: now,
+            cause,
+            plan,
+            demand,
+            observed,
+            wall_secs,
+        };
+        match self.config.solve_latency.delay(stats.as_ref()) {
+            None => self.commit_plan(pending, now, sim),
+            Some(delta) => {
+                self.next_solve_id += 1;
+                let until = now + delta;
+                if self.trace_on {
+                    self.emit(now, EventKind::SolveStarted { cause, until });
+                }
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_solve_started(now);
+                }
+                sim.schedule(
+                    until,
+                    Event::SolveComplete {
+                        id: self.next_solve_id,
+                    },
+                );
+                self.pending_solve = Some(pending);
+            }
+        }
+    }
+
+    /// Puts a solved plan in force at `now` and books every counter that
+    /// describes a *committed* plan (discarded solves book nothing here).
+    fn commit_plan(&mut self, pending: PendingSolve, now: SimTime, sim: &mut Simulation<Event>) {
+        let PendingSolve {
+            started,
+            cause,
+            plan,
+            demand,
+            observed,
+            wall_secs,
+            ..
+        } = pending;
         self.reallocations += 1;
         if cause == ReplanCause::Burst {
             self.burst_reallocations += 1;
@@ -1284,7 +1616,8 @@ impl Engine<'_> {
         if plan.shrink() > 1.0 {
             self.shrunk_plans += 1;
         }
-        self.last_realloc = now;
+        // The burst detector's baseline: what this plan was built for.
+        self.planned_for = observed;
 
         // §7 tandem: when even minimum accuracy cannot absorb the demand
         // (the plan had to shrink), order enough hardware to cover the
@@ -1298,9 +1631,12 @@ impl Engine<'_> {
                     (plan.total_capacity() / self.cluster.len().max(1) as f64).max(1.0);
                 let wanted = (deficit_qps / per_device_qps).ceil().max(1.0) as u32;
                 let order = wanted.min(elastic.max_extra_devices - self.extra_ordered);
-                self.extra_ordered += order;
                 let ready = now + SimTime::from_secs_f64(elastic.provision_delay_secs);
+                // Orders that cannot arrive inside the horizon are never
+                // placed, so they must not consume the device budget and
+                // block later, deliverable orders.
                 if ready <= self.horizon {
+                    self.extra_ordered += order;
                     for _ in 0..order {
                         sim.schedule(
                             ready,
@@ -1315,16 +1651,45 @@ impl Engine<'_> {
         let changed = self.apply_plan(plan, now, sim);
         self.phase_end(Phase::ReplanApply, apply_t0);
         self.replan_log.push(ReplanRecord {
-            at: now,
+            at: started,
+            committed_at: now,
             cause,
             wall_secs,
+            solve_secs: now.saturating_sub(started).as_secs_f64(),
             changed,
             shrink,
+            observed,
+            target: demand,
         });
         if self.trace_on {
             self.emit(now, EventKind::PlanApplied { changed, shrink });
         }
         self.audit_applied_plan(now, &demand);
+    }
+
+    /// Discards the in-flight solve (if any) because the device liveness
+    /// set changed mid-window: the plan was built against a cluster that
+    /// no longer exists and must never be applied.
+    fn discard_pending_solve(&mut self, now: SimTime) {
+        let Some(p) = self.pending_solve.take() else {
+            return;
+        };
+        self.plans_discarded += 1;
+        // The liveness-change replan that follows sees the new device set;
+        // an older queued cause would only duplicate it.
+        self.queued_cause = None;
+        if self.trace_on {
+            self.emit(
+                now,
+                EventKind::PlanDiscarded {
+                    cause: p.cause,
+                    reason: proteus_trace::DiscardReason::Liveness,
+                },
+            );
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_solve_resolved(now);
+        }
     }
 
     /// Applies one injected fault from the schedule.
@@ -1347,6 +1712,11 @@ impl Engine<'_> {
                 if self.trace_on {
                     self.emit(now, EventKind::WorkerCrashed { device: id });
                 }
+                // The liveness set changed: an in-flight plan was built
+                // against a cluster that no longer exists. Discard it; the
+                // DeviceFailure replan below solves against the new set.
+                self.liveness_epoch += 1;
+                self.discard_pending_solve(now);
                 // Mask the device out of future plans and stop routing to
                 // it right now — not at the next replan.
                 if let Err(pos) = self.down.binary_search(&id) {
@@ -1360,9 +1730,10 @@ impl Engine<'_> {
                     self.device_stats[d].online += now.saturating_sub(since);
                 }
                 self.cancel_timer(d, sim);
-                // Any pending load completion is now meaningless.
+                // Any pending or staged load completion is now meaningless.
                 self.workers[d].load_generation += 1;
                 self.workers[d].pending_load = None;
+                self.staged_target[d] = None;
                 // Salvage the executing batch (its completion is cancelled
                 // and its stats rolled back — it never finished) plus
                 // everything still queued.
@@ -1391,6 +1762,12 @@ impl Engine<'_> {
                     return;
                 }
                 self.workers[d].set_up(true);
+                // A recovery changes the usable device set just like a
+                // crash: a plan solved without this device is stale (and a
+                // coalesced same-instant trigger would see a different
+                // cluster), so the in-flight solve is discarded too.
+                self.liveness_epoch += 1;
+                self.discard_pending_solve(now);
                 // Back empty: no model survives a crash.
                 self.set_worker_variant(d, None);
                 self.workers[d].set_state(WorkerState::Idle);
@@ -1730,6 +2107,69 @@ impl Actor for Engine<'_> {
                     sim.schedule(next, Event::Reallocate);
                 }
             }
+            Event::SolveComplete { id } => {
+                // A discarded solve's completion still arrives; the id
+                // mismatch (or empty pending slot) rejects it.
+                let Some(p) = self.pending_solve.take() else {
+                    return;
+                };
+                if p.id != id {
+                    self.pending_solve = Some(p);
+                    return;
+                }
+                // Belt and braces: the discard path fires on every liveness
+                // change, so a pending plan can never reference a down
+                // device here — but a plan that does must not be applied
+                // under any circumstances.
+                let refs_down = self.down.iter().any(|&d| p.plan.assignment(d).is_some());
+                if refs_down {
+                    self.plans_discarded += 1;
+                    if self.trace_on {
+                        self.emit(
+                            now,
+                            EventKind::PlanDiscarded {
+                                cause: p.cause,
+                                reason: proteus_trace::DiscardReason::Liveness,
+                            },
+                        );
+                    }
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.on_solve_resolved(now);
+                    }
+                    let cause = self.queued_cause.take().unwrap_or(p.cause);
+                    self.begin_solve(now, cause, sim);
+                    return;
+                }
+                if self.trace_on {
+                    self.emit(now, EventKind::SolveComplete { cause: p.cause });
+                }
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_solve_resolved(now);
+                }
+                self.commit_plan(p, now, sim);
+                // Triggers that coalesced mid-window get their re-solve
+                // now, against demand observed at this instant.
+                if let Some(cause) = self.queued_cause.take() {
+                    self.begin_solve(now, cause, sim);
+                }
+            }
+            Event::StagedLoadDone { device, generation } => {
+                let d = device as usize;
+                if self.workers[d].load_generation != generation {
+                    return; // superseded by a newer plan or a crash
+                }
+                let Some(v) = self.staged_target[d].take() else {
+                    return;
+                };
+                if !self.workers[d].is_up() {
+                    return;
+                }
+                // The background load finished: swap the serving variant.
+                // The worker served its old variant for the whole window
+                // (an executing batch keeps its captured profile).
+                self.set_worker_variant(d, Some(v));
+                self.poke(d, now, sim);
+            }
             Event::ProvisionReady(device_type) => {
                 let id = self.cluster.add(device_type);
                 // Cluster::add returned this id on the previous line, so the
@@ -1750,7 +2190,12 @@ impl Actor for Engine<'_> {
                 self.slowdown.push(1.0);
                 self.online_since.push(Some(now));
                 self.load_attempts.push(0);
+                self.staged_target.push(None);
                 self.provisioned += 1;
+                // The usable device set grew: a same-instant replan (the
+                // ProvisionedRealloc below) must not be coalesced against a
+                // pre-provision solve key.
+                self.liveness_epoch += 1;
                 if self.trace_on {
                     self.emit(
                         now,
@@ -2162,6 +2607,212 @@ mod tests {
         let base = run_proteus(100.0, 10).metrics.summary();
         let faultless = run_with_faults("", 100.0, 10);
         assert_eq!(faultless.metrics.summary(), base);
+    }
+
+    #[test]
+    fn solve_latency_parses_and_displays() {
+        for (text, want) in [
+            ("zero", SolveLatency::Zero),
+            ("model", SolveLatency::Model),
+            ("fixed:4.2", SolveLatency::Fixed(4.2)),
+        ] {
+            let parsed: SolveLatency = text.parse().unwrap();
+            assert_eq!(parsed, want, "{text}");
+            assert_eq!(parsed.to_string(), text);
+        }
+        assert!("warp".parse::<SolveLatency>().is_err());
+        assert!("fixed:0".parse::<SolveLatency>().is_err());
+        assert!("fixed:nope".parse::<SolveLatency>().is_err());
+    }
+
+    #[test]
+    fn solve_cost_model_is_monotone_and_capped() {
+        use proteus_solver::SolveStats;
+        assert_eq!(SolveLatency::Zero.delay(None), None);
+        // Heuristic allocators (no solver stats) pay the base cost only.
+        let base = SolveLatency::Model.delay(None).unwrap();
+        assert_eq!(base, SimTime::from_secs_f64(SOLVE_MODEL_BASE_SECS));
+        let small = SolveStats {
+            nodes: 5,
+            simplex_iterations: 100,
+            ..SolveStats::default()
+        };
+        let big = SolveStats {
+            nodes: 50,
+            simplex_iterations: 10_000,
+            ..SolveStats::default()
+        };
+        let d_small = SolveLatency::Model.delay(Some(&small)).unwrap();
+        let d_big = SolveLatency::Model.delay(Some(&big)).unwrap();
+        assert!(base < d_small && d_small < d_big);
+        // A pathological solve cannot starve the control loop forever.
+        let huge = SolveStats {
+            nodes: u64::from(u32::MAX),
+            simplex_iterations: u64::from(u32::MAX),
+            ..SolveStats::default()
+        };
+        assert_eq!(
+            SolveLatency::Model.delay(Some(&huge)).unwrap(),
+            SimTime::from_secs_f64(SOLVE_MODEL_MAX_SECS)
+        );
+        // Wall time never feeds the model: two stats differing only in
+        // wall produce the same delay.
+        let mut rewalled = small;
+        rewalled.wall = std::time::Duration::from_secs(1234);
+        assert_eq!(SolveLatency::Model.delay(Some(&rewalled)), Some(d_small));
+    }
+
+    #[test]
+    fn same_instant_failure_and_periodic_replans_coalesce() {
+        // Satellite 3 regression: a DeviceFailure replan from the fault
+        // handler and the Periodic tick land on the identical sim instant
+        // (crash at t=30, period 30 s). The event-ordering contract is
+        // that the fault fires first, its solve claims (t, liveness
+        // epoch), and the periodic trigger coalesces instead of
+        // double-solving.
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        config.realloc_period_secs = 30.0;
+        config.faults = "crash@30:7".parse().unwrap();
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let outcome = system.run(&flat_arrivals(80.0, 35, 7));
+        let at_30: Vec<_> = outcome
+            .replan_log
+            .iter()
+            .filter(|r| r.at == SimTime::from_secs(30))
+            .collect();
+        assert_eq!(at_30.len(), 1, "double-solve at t=30: {at_30:?}");
+        assert_eq!(at_30[0].cause, ReplanCause::DeviceFailure);
+        assert!(
+            outcome.replans_coalesced >= 1,
+            "periodic tick not coalesced"
+        );
+        assert_eq!(outcome.audit_violations, 0);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+    }
+
+    #[test]
+    fn zero_latency_commits_in_the_same_instant() {
+        let mut config = SystemConfig::small();
+        config.realloc_period_secs = 5.0;
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut sink = proteus_trace::MemorySink::new();
+        let outcome = system.run_traced(&flat_arrivals(50.0, 21, 3), &mut sink);
+        assert!(outcome.reallocations >= 4);
+        assert_eq!(outcome.plans_discarded, 0);
+        for r in &outcome.replan_log {
+            assert_eq!(r.committed_at, r.at, "zero mode must commit instantly");
+            assert_eq!(r.solve_secs, 0.0);
+        }
+        // No solve-window events leak into legacy traces.
+        assert!(!sink.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::SolveStarted { .. }
+                | EventKind::SolveComplete { .. }
+                | EventKind::PlanDiscarded { .. }
+        )));
+    }
+
+    #[test]
+    fn fixed_solve_latency_opens_a_window_before_commit() {
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        config.realloc_period_secs = 5.0;
+        config.solve_latency = SolveLatency::Fixed(2.0);
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut sink = proteus_trace::MemorySink::new();
+        let outcome = system.run_traced(&flat_arrivals(50.0, 21, 3), &mut sink);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert_eq!(outcome.audit_violations, 0);
+        // The initial plan is synchronous (there is nothing to serve under
+        // yet); every later plan commits exactly one window after its
+        // trigger.
+        let delayed: Vec<_> = outcome
+            .replan_log
+            .iter()
+            .filter(|r| r.cause != ReplanCause::Initial)
+            .collect();
+        assert!(!delayed.is_empty());
+        for r in delayed {
+            assert_eq!(
+                r.committed_at,
+                r.at + SimTime::from_secs(2),
+                "cause {:?}",
+                r.cause
+            );
+            assert!((r.solve_secs - 2.0).abs() < 1e-9);
+        }
+        let solve_starts = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SolveStarted { .. }))
+            .count();
+        let solve_completes = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SolveComplete { .. }))
+            .count();
+        assert!(solve_starts >= 3);
+        // Fault-free run: every opened window commits.
+        assert_eq!(solve_starts, solve_completes);
+        // Determinism: the sim-time behaviour must not depend on real
+        // solver wall time.
+        let mut config2 = SystemConfig::small();
+        config2.audit = true;
+        config2.realloc_period_secs = 5.0;
+        config2.solve_latency = SolveLatency::Fixed(2.0);
+        let mut again = ServingSystem::new(
+            config2,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        assert_eq!(again.run(&flat_arrivals(50.0, 21, 3)).metrics.summary(), s);
+    }
+
+    #[test]
+    fn crash_mid_solve_discards_the_inflight_plan() {
+        // Periodic trigger at t=5 opens a [5, 9) window; device 7 dies at
+        // t=7, inside it. The in-flight plan was solved against a liveness
+        // set that no longer exists: it must be discarded (never applied)
+        // and the failure replan must produce a plan avoiding the corpse.
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        config.realloc_period_secs = 5.0;
+        config.solve_latency = SolveLatency::Fixed(4.0);
+        config.faults = "crash@7:7".parse().unwrap();
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut sink = proteus_trace::MemorySink::new();
+        let outcome = system.run_traced(&flat_arrivals(80.0, 15, 7), &mut sink);
+        let s = outcome.metrics.summary();
+        assert_eq!(s.total_arrived, s.total_served + s.total_dropped);
+        assert_eq!(outcome.audit_violations, 0);
+        assert!(outcome.plans_discarded >= 1, "mid-solve crash must discard");
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PlanDiscarded { .. })));
+        assert!(outcome
+            .final_plan
+            .assignment(proteus_profiler::DeviceId(7))
+            .is_none());
     }
 
     #[test]

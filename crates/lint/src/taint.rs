@@ -18,14 +18,18 @@ use crate::{Finding, Level};
 ///
 /// These anchor the determinism-taint pass: solver inputs
 /// (`solve_allocation`, `allocate`), `BatchingPolicy::decide`, router
-/// choices (`route`), and trace-event payloads (`emit` in core, `record`
-/// in the trace crate).
-const SINKS: [(&str, &str); 6] = [
+/// choices (`route`), trace-event payloads (`emit` in core, `record`
+/// in the trace crate), and the control plane's solve-window scheduling
+/// (`begin_solve` computes the `SolveComplete` fire time — if wall time
+/// ever leaked into that delay, whole event timelines would diverge
+/// between runs).
+const SINKS: [(&str, &str); 7] = [
     ("decide", "crates/core/"),
     ("route", "crates/core/"),
     ("allocate", "crates/core/"),
     ("solve_allocation", "crates/core/"),
     ("emit", "crates/core/"),
+    ("begin_solve", "crates/core/"),
     ("record", "crates/trace/"),
 ];
 
@@ -379,6 +383,19 @@ mod tests {
         assert!(f.message.contains("wall-clock read"));
         assert!(f.message.contains("wobble"));
         assert_eq!(f.chain.len(), 3); // decide→wobble, wobble→jitter, seed
+    }
+
+    #[test]
+    fn solve_window_scheduling_is_a_checked_sink() {
+        let (graph, mut allows) = setup(&[(
+            "crates/core/src/system.rs",
+            "fn wobble() -> f64 { let t = std::time::Instant::now(); 0.0 }\n\
+             impl Engine { fn begin_solve(&mut self) { let d = wobble(); } }\n",
+        )]);
+        let findings = determinism_pass(&graph, &mut allows);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("begin_solve"));
+        assert!(findings[0].message.contains("wall-clock read"));
     }
 
     #[test]

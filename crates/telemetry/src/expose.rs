@@ -329,6 +329,38 @@ pub fn render_page(
         &[],
         registry.reallocations() as f64,
     );
+    p.help_type(
+        "proteus_solve_in_progress",
+        "gauge",
+        "1 while an allocation solve window is open (old plan still serving).",
+    );
+    p.sample(
+        "proteus_solve_in_progress",
+        &[],
+        if registry.solve_in_progress() {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    let stale = registry.stale_age();
+    p.help_type(
+        "proteus_stale_plan_age_seconds",
+        "summary",
+        "Age of the in-flight solve (time served under a stale plan), sampled per step.",
+    );
+    for q in [0.5, 0.9, 0.99] {
+        if let Some(v) = stale.quantile(q) {
+            let label = format!("{q}");
+            p.sample("proteus_stale_plan_age_seconds", &[("quantile", &label)], v);
+        }
+    }
+    p.sample("proteus_stale_plan_age_seconds_sum", &[], stale.sum());
+    p.sample(
+        "proteus_stale_plan_age_seconds_count",
+        &[],
+        stale.count() as f64,
+    );
 
     // Burn-rate gauges and alert state.
     p.help_type(

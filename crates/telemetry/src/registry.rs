@@ -202,6 +202,13 @@ pub struct Registry {
     reallocations: u64,
     /// Response-latency sketch (seconds), cumulative since run start.
     latency: QuantileSketch,
+    /// When the control plane's in-flight solve started; `None` while no
+    /// solve is running (the `proteus_solve_in_progress` gauge).
+    solve_started_at: Option<SimTime>,
+    /// Stale-plan age sketch (seconds): while a solve is in flight the
+    /// serving plan is known-stale; its age (now − solve start) is sampled
+    /// at every sealed step and at solve resolution.
+    stale_age: QuantileSketch,
     last_seal: SimTime,
 }
 
@@ -223,6 +230,8 @@ impl Registry {
             phase_calls: [0; Phase::COUNT],
             reallocations: 0,
             latency: QuantileSketch::new(sketch_alpha, 2048),
+            solve_started_at: None,
+            stale_age: QuantileSketch::new(sketch_alpha, 2048),
             last_seal: SimTime::ZERO,
         }
     }
@@ -296,6 +305,34 @@ impl Registry {
         self.reallocations += 1;
     }
 
+    /// The control plane entered a solve window at `now`: until
+    /// [`on_solve_resolved`](Self::on_solve_resolved) the serving plan is
+    /// known-stale and its age is sampled at every sealed step.
+    #[inline]
+    pub fn on_solve_started(&mut self, now: SimTime) {
+        self.solve_started_at = Some(now);
+    }
+
+    /// The in-flight solve ended (committed or discarded) at `now`; the
+    /// final stale-plan age is recorded and the gauge clears.
+    #[inline]
+    pub fn on_solve_resolved(&mut self, now: SimTime) {
+        if let Some(started) = self.solve_started_at.take() {
+            self.stale_age
+                .record(now.saturating_sub(started).as_secs_f64());
+        }
+    }
+
+    /// Whether a control-plane solve is currently in flight.
+    pub fn solve_in_progress(&self) -> bool {
+        self.solve_started_at.is_some()
+    }
+
+    /// The cumulative stale-plan-age sketch (seconds).
+    pub fn stale_age(&self) -> &QuantileSketch {
+        &self.stale_age
+    }
+
     /// Seals the current step at `now` with the given device snapshot and
     /// returns the step's per-family flows (the burn engine's input).
     pub fn seal_step(
@@ -314,6 +351,12 @@ impl Registry {
             flows,
             devices: devices.to_vec(),
         });
+        // While a solve is in flight, every sealed step samples how long
+        // the system has been serving under the known-stale plan.
+        if let Some(started) = self.solve_started_at {
+            self.stale_age
+                .record(now.saturating_sub(started).as_secs_f64());
+        }
         self.last_seal = now;
         flows
     }
@@ -447,6 +490,27 @@ mod tests {
         assert_eq!(r.phase_calls(Phase::Solve), 2);
         assert_eq!(r.phase_calls(Phase::Route), 0);
         assert_eq!(r.reallocations(), 1);
+    }
+
+    #[test]
+    fn solve_window_samples_stale_age() {
+        let mut r = Registry::new(t(10), t(1), 0.01);
+        assert!(!r.solve_in_progress());
+        r.on_solve_started(t(1));
+        assert!(r.solve_in_progress());
+        r.seal_step(t(2), &[]); // age 1 s
+        r.seal_step(t(3), &[]); // age 2 s
+        r.on_solve_resolved(t(4)); // final age 3 s
+        assert!(!r.solve_in_progress());
+        assert_eq!(r.stale_age().count(), 3);
+        assert!(
+            (r.stale_age().sum() - 6.0).abs() < 0.2,
+            "{}",
+            r.stale_age().sum()
+        );
+        // Sealing with no solve in flight samples nothing.
+        r.seal_step(t(5), &[]);
+        assert_eq!(r.stale_age().count(), 3);
     }
 
     #[test]

@@ -218,6 +218,20 @@ impl TelemetryRuntime {
         self.registry.on_reallocation();
     }
 
+    /// The control plane entered a solve window (nonzero solve latency):
+    /// the serving plan is stale until the matching
+    /// [`on_solve_resolved`](Self::on_solve_resolved).
+    #[inline]
+    pub fn on_solve_started(&mut self, now: SimTime) {
+        self.registry.on_solve_started(now);
+    }
+
+    /// The in-flight solve committed or was discarded.
+    #[inline]
+    pub fn on_solve_resolved(&mut self, now: SimTime) {
+        self.registry.on_solve_resolved(now);
+    }
+
     /// The monitoring-tick driver: seals a step when one is due, runs
     /// the burn engine, and emits a window (page + dashboard frame) when
     /// one closes. Returns the alert transitions this tick caused — the

@@ -138,6 +138,12 @@ pub struct BlameVerdict {
     pub model_load: SimTime,
     /// Remainder of the wait window (idle worker / batching hold-back).
     pub batch_wait: SimTime,
+    /// Overlap of the wait window with control-plane solve windows
+    /// (`SolveStarted..until`): time the query waited while the system was
+    /// still serving under a stale plan. Informational overlay — it does not
+    /// participate in `cause` selection, since a solve window and (say) a
+    /// busy worker can cover the same nanoseconds.
+    pub stale_plan: SimTime,
 }
 
 /// Blame attribution over a whole trace.
@@ -156,6 +162,15 @@ impl BlameReport {
     /// Total classified violations.
     pub fn total(&self) -> usize {
         self.verdicts.len()
+    }
+
+    /// Violations whose wait window overlapped a control-plane solve window
+    /// (any nonzero `stale_plan` component).
+    pub fn stale_affected(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.stale_plan > SimTime::ZERO)
+            .count()
     }
 }
 
@@ -177,6 +192,11 @@ impl BlameReport {
 /// * the remainder → **batch-wait** (the worker was idle but the batching
 ///   policy held the query back).
 ///
+/// Independently of cause selection, each decomposed verdict also records
+/// how much of its wait window overlapped a control-plane solve window
+/// (`SolveStarted..until`) as [`BlameVerdict::stale_plan`] — time spent
+/// waiting while the system was still serving under a stale plan.
+///
 /// The largest component wins; ties break queueing → model-load →
 /// batch-wait. A zero-length window means waiting was not the problem:
 /// late responses are blamed on batch-wait (execution time alone blew the
@@ -189,8 +209,12 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
     let mut enqueued_at: HashMap<u64, (SimTime, DeviceId)> = HashMap::new();
     let mut serving_batch: HashMap<u64, (DeviceId, u64)> = HashMap::new();
     let mut exec_start: HashMap<(u32, u64), SimTime> = HashMap::new();
+    let mut solves: Vec<(SimTime, SimTime)> = Vec::new();
     for e in events {
         match &e.kind {
+            EventKind::SolveStarted { until, .. } => {
+                solves.push((e.at, *until));
+            }
             EventKind::ModelLoadStarted { device, until, .. } => {
                 loads.entry(device.0).or_default().push((e.at, *until));
             }
@@ -247,6 +271,7 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
                         queueing: SimTime::ZERO,
                         model_load: SimTime::ZERO,
                         batch_wait: SimTime::ZERO,
+                        stale_plan: SimTime::ZERO,
                     });
                     continue;
                 }
@@ -258,6 +283,7 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
                         queueing: SimTime::ZERO,
                         model_load: SimTime::ZERO,
                         batch_wait: SimTime::ZERO,
+                        stale_plan: SimTime::ZERO,
                     });
                     continue;
                 }
@@ -290,6 +316,9 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
             .unwrap_or(0);
         let window_ns = end.saturating_sub(start).as_nanos();
         let wait_ns = window_ns.saturating_sub(load_ns + busy_ns);
+        // Solve windows never overlap each other (at most one solve is in
+        // flight), so a plain sum is the true overlap.
+        let stale_ns: u64 = solves.iter().map(|&(a, b)| overlap(start, end, a, b)).sum();
 
         let cause = if window_ns == 0 {
             if expired {
@@ -312,6 +341,7 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
             queueing: SimTime::from_nanos(busy_ns),
             model_load: SimTime::from_nanos(load_ns),
             batch_wait: SimTime::from_nanos(wait_ns),
+            stale_plan: SimTime::from_nanos(stale_ns),
         });
     }
     report
@@ -320,7 +350,7 @@ pub fn blame(events: &[TraceEvent]) -> BlameReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::DropReason;
+    use crate::event::{DropReason, ReplanCause};
     use proteus_profiler::{ModelFamily, VariantId};
 
     fn t(ms: u64) -> SimTime {
@@ -662,6 +692,35 @@ mod tests {
         assert_eq!(report.total() as u64, stats.violations());
         let by_cause: usize = BlameCause::ALL.iter().map(|&c| report.count(c)).sum();
         assert_eq!(by_cause, report.total());
+    }
+
+    #[test]
+    fn stale_plan_overlap_is_recorded_without_changing_cause() {
+        // Same busy-device trace, but a solve window covers 50–180 ms: q2's
+        // wait window (0–100 ms) overlaps it for 50 ms. The verdict stays
+        // Queueing; the stale overlap is reported alongside.
+        let mut events = busy_device_trace();
+        events.insert(
+            0,
+            ev(
+                50,
+                EventKind::SolveStarted {
+                    cause: ReplanCause::Periodic,
+                    until: t(180),
+                },
+            ),
+        );
+        let report = blame(&events);
+        assert_eq!(report.total(), 1);
+        let v = &report.verdicts[0];
+        assert_eq!(v.cause, BlameCause::Queueing);
+        assert_eq!(v.stale_plan, t(50));
+        assert_eq!(report.stale_affected(), 1);
+
+        // Without the solve window nothing is stale-affected.
+        let clean = blame(&busy_device_trace());
+        assert_eq!(clean.stale_affected(), 0);
+        assert_eq!(clean.verdicts[0].stale_plan, SimTime::ZERO);
     }
 
     #[test]

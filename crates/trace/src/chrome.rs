@@ -115,6 +115,29 @@ pub fn export_chrome(events: &[TraceEvent]) -> String {
                     &mut out,
                 );
             }
+            EventKind::SolveStarted { cause, until } => {
+                let dur = micros(until.saturating_sub(event.at).as_nanos());
+                emit(
+                    &format!(
+                        "{{\"name\":\"solve ({})\",\"cat\":\"control\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{CONTROLLER_TID}}}",
+                        cause.label()
+                    ),
+                    &mut out,
+                );
+            }
+            EventKind::PlanDiscarded { cause, reason } => {
+                emit(
+                    &format!(
+                        "{{\"name\":\"plan discarded ({})\",\"cat\":\"control\",\"ph\":\"i\",\
+                         \"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\"s\":\"t\",\
+                         \"args\":{{\"cause\":\"{}\"}}}}",
+                        reason.label(),
+                        cause.label()
+                    ),
+                    &mut out,
+                );
+            }
             EventKind::PlanApplied { changed, shrink } => {
                 emit(
                     &format!(
@@ -185,6 +208,13 @@ mod tests {
                 },
             },
             TraceEvent {
+                at: SimTime::from_millis(5),
+                kind: EventKind::SolveStarted {
+                    cause: ReplanCause::Initial,
+                    until: SimTime::from_millis(9),
+                },
+            },
+            TraceEvent {
                 at: SimTime::from_nanos(7_500_500),
                 kind: EventKind::ExecStarted {
                     device: DeviceId(0),
@@ -215,6 +245,13 @@ mod tests {
         assert!(doc.contains("\"ts\":7500.500"));
         assert!(doc.contains("\"dur\":2000"));
         assert!(doc.contains("ResNet#3"));
+    }
+
+    #[test]
+    fn solve_windows_become_controller_spans() {
+        let doc = export_chrome(&sample());
+        assert!(doc.contains("\"name\":\"solve (initial)\""));
+        assert!(doc.contains("\"dur\":4000"));
     }
 
     #[test]

@@ -101,6 +101,36 @@ impl ReplanCause {
     }
 }
 
+/// Why an in-flight (asynchronously solving) plan was discarded instead of
+/// committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscardReason {
+    /// The liveness set changed mid-solve (a device crashed or recovered):
+    /// the plan was computed against a cluster that no longer exists and
+    /// must never be applied.
+    Liveness,
+    /// A newer solve superseded this one before its commit event fired.
+    Superseded,
+}
+
+impl DiscardReason {
+    /// Every reason, in serialization order.
+    pub const ALL: [DiscardReason; 2] = [DiscardReason::Liveness, DiscardReason::Superseded];
+
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiscardReason::Liveness => "liveness",
+            DiscardReason::Superseded => "superseded",
+        }
+    }
+
+    /// Parses a wire label back into a reason.
+    pub fn parse(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|r| r.label() == label)
+    }
+}
+
 /// Severity tier of an SLO burn-rate alert (Google SRE style: a fast-burn
 /// rule pages, a slow-burn rule opens a ticket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -353,6 +383,31 @@ pub enum EventKind {
         /// The rule's short window, in sim seconds.
         short_secs: f64,
     },
+    /// An asynchronous solve window opened: the allocator's demand inputs
+    /// were snapshotted at this instant and the resulting plan will commit
+    /// no earlier than `until`. Only emitted under a nonzero solve-latency
+    /// model — with zero control-plane latency plans commit in the same
+    /// instant and the window events are skipped entirely.
+    SolveStarted {
+        /// What prompted the solve.
+        cause: ReplanCause,
+        /// When the solve window closes (the scheduled commit instant).
+        until: SimTime,
+    },
+    /// The solve window closed and its plan was committed. The matching
+    /// `PlanApplied` follows at the same instant.
+    SolveComplete {
+        /// The cause carried from the matching [`EventKind::SolveStarted`].
+        cause: ReplanCause,
+    },
+    /// An in-flight plan was thrown away instead of committed (the
+    /// liveness set changed mid-solve, or a newer solve superseded it).
+    PlanDiscarded {
+        /// The cause carried from the matching [`EventKind::SolveStarted`].
+        cause: ReplanCause,
+        /// Why the plan could not be applied.
+        reason: DiscardReason,
+    },
 }
 
 impl EventKind {
@@ -383,6 +438,9 @@ impl EventKind {
             EventKind::StragglerEnded { .. } => "straggler_ended",
             EventKind::AlertFired { .. } => "alert_fired",
             EventKind::AlertResolved { .. } => "alert_resolved",
+            EventKind::SolveStarted { .. } => "solve_started",
+            EventKind::SolveComplete { .. } => "solve_complete",
+            EventKind::PlanDiscarded { .. } => "plan_discarded",
         }
     }
 
@@ -427,9 +485,13 @@ mod tests {
         for s in AlertSeverity::ALL {
             assert_eq!(AlertSeverity::parse(s.label()), Some(s));
         }
+        for d in DiscardReason::ALL {
+            assert_eq!(DiscardReason::parse(d.label()), Some(d));
+        }
         assert_eq!(DropReason::parse("nope"), None);
         assert_eq!(ReplanCause::parse("nope"), None);
         assert_eq!(AlertSeverity::parse("nope"), None);
+        assert_eq!(DiscardReason::parse("nope"), None);
     }
 
     #[test]

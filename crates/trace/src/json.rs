@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use proteus_profiler::{DeviceId, ModelFamily, VariantId};
 use proteus_sim::SimTime;
 
-use crate::event::{AlertSeverity, DropReason, EventKind, ReplanCause, TraceEvent};
+use crate::event::{AlertSeverity, DiscardReason, DropReason, EventKind, ReplanCause, TraceEvent};
 
 /// Serializes one event as a single JSON line (no trailing newline).
 pub fn to_jsonl(event: &TraceEvent) -> String {
@@ -186,6 +186,25 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
                 s,
                 ",\"severity\":\"{}\",\"burn\":{burn},\"long_s\":{long_secs},\"short_s\":{short_secs}",
                 severity.label()
+            );
+        }
+        EventKind::SolveStarted { cause, until } => {
+            let _ = write!(
+                s,
+                ",\"cause\":\"{}\",\"until\":{}",
+                cause.label(),
+                until.as_nanos()
+            );
+        }
+        EventKind::SolveComplete { cause } => {
+            let _ = write!(s, ",\"cause\":\"{}\"", cause.label());
+        }
+        EventKind::PlanDiscarded { cause, reason } => {
+            let _ = write!(
+                s,
+                ",\"cause\":\"{}\",\"reason\":\"{}\"",
+                cause.label(),
+                reason.label()
             );
         }
     }
@@ -444,6 +463,31 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
                     long_secs,
                     short_secs,
                 }
+            }
+        }
+        "solve_started" | "solve_complete" | "plan_discarded" => {
+            let cause = ReplanCause::parse(str_("cause")?).ok_or_else(|| ParseEventError {
+                line: 0,
+                reason: format!("unknown replan cause `{}`", str_("cause").unwrap_or("?")),
+            })?;
+            match ev {
+                "solve_started" => EventKind::SolveStarted {
+                    cause,
+                    until: time("until")?,
+                },
+                "solve_complete" => EventKind::SolveComplete { cause },
+                _ => EventKind::PlanDiscarded {
+                    cause,
+                    reason: DiscardReason::parse(str_("reason")?).ok_or_else(|| {
+                        ParseEventError {
+                            line: 0,
+                            reason: format!(
+                                "unknown discard reason `{}`",
+                                str_("reason").unwrap_or("?")
+                            ),
+                        }
+                    })?,
+                },
             }
         }
         other => {
@@ -785,6 +829,21 @@ mod tests {
                 burn: 0.25,
                 long_secs: 300.0,
                 short_secs: 60.0,
+            },
+            EventKind::SolveStarted {
+                cause: ReplanCause::Periodic,
+                until: t(34_200),
+            },
+            EventKind::SolveComplete {
+                cause: ReplanCause::Periodic,
+            },
+            EventKind::PlanDiscarded {
+                cause: ReplanCause::Burst,
+                reason: DiscardReason::Liveness,
+            },
+            EventKind::PlanDiscarded {
+                cause: ReplanCause::Periodic,
+                reason: DiscardReason::Superseded,
             },
         ];
         kinds

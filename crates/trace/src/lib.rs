@@ -47,6 +47,6 @@ pub mod sink;
 
 pub use analysis::{blame, query_lifecycle, BlameCause, BlameReport, BlameVerdict, LifecycleStats};
 pub use chrome::export_chrome;
-pub use event::{AlertSeverity, DropReason, EventKind, ReplanCause, TraceEvent};
+pub use event::{AlertSeverity, DiscardReason, DropReason, EventKind, ReplanCause, TraceEvent};
 pub use json::{parse_jsonl, parse_line, to_jsonl, ParseEventError};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};

@@ -1469,6 +1469,7 @@ impl Engine<'_> {
                                     query: qid,
                                     device,
                                     depth: self.workers[d].queue_len() as u32,
+                                    behind: self.inflight[d].as_ref().map(|f| f.batch),
                                 },
                             );
                         }
@@ -1840,6 +1841,27 @@ impl Engine<'_> {
                                     attempt,
                                 },
                             );
+                            // Record the salvaged query's new placement so
+                            // offline analysis anchors its wait window on
+                            // the device that actually serves it, not the
+                            // crashed one.
+                            let device = proteus_profiler::DeviceId(d as u32);
+                            self.emit(
+                                now,
+                                EventKind::Routed {
+                                    query: q.id.0,
+                                    device,
+                                },
+                            );
+                            self.emit(
+                                now,
+                                EventKind::Enqueued {
+                                    query: q.id.0,
+                                    device,
+                                    depth: self.workers[d].queue_len() as u32,
+                                    behind: self.inflight[d].as_ref().map(|f| f.batch),
+                                },
+                            );
                         }
                         touched.push(d);
                     }
@@ -1918,6 +1940,7 @@ impl Actor for Engine<'_> {
                                         query: i as u64,
                                         device,
                                         depth: self.workers[d].queue_len() as u32,
+                                        behind: self.inflight[d].as_ref().map(|f| f.batch),
                                     },
                                 );
                             }
@@ -1971,18 +1994,21 @@ impl Actor for Engine<'_> {
                     self.metrics
                         .record_served_latency(now, q.family, accuracy, on_time, latency);
                     if let Some(t) = self.telemetry.as_deref_mut() {
-                        t.on_served(q.family, accuracy, on_time, latency);
+                        t.on_served(q.id.0, q.family, accuracy, on_time, latency);
                     }
                     if self.trace_on {
+                        let epoch = u64::from(self.reallocations);
                         let kind = if on_time {
                             EventKind::ServedOnTime {
                                 query: q.id.0,
                                 latency,
+                                epoch,
                             }
                         } else {
                             EventKind::ServedLate {
                                 query: q.id.0,
                                 latency,
+                                epoch,
                             }
                         };
                         self.emit(now, kind);

@@ -1,19 +1,23 @@
 //! Flight-recorder integration tests: a golden JSONL trace of a tiny
-//! deterministic run, stream invariants, and blame attribution on a
-//! bursty overload.
+//! deterministic run, stream invariants, blame attribution on a bursty
+//! overload, staged-swap and stale-plan blame coverage, and the causal
+//! span layer's critical-path additivity invariant under chaos schedules.
 
 use std::path::{Path, PathBuf};
 
 use proteus_core::batching::ProteusBatching;
 use proteus_core::schedulers::{AllocContext, Allocator, ProteusAllocator};
-use proteus_core::system::{ServingSystem, SystemConfig};
+use proteus_core::system::{ServingSystem, SolveLatency, SystemConfig};
 use proteus_core::{AllocationPlan, FamilyMap};
 use proteus_profiler::{Cluster, DeviceId, ModelFamily, VariantId};
-use proteus_sim::SimTime;
+use proteus_sim::{FaultSchedule, SimTime};
 use proteus_trace::{
-    blame, parse_jsonl, to_jsonl, BlameCause, EventKind, LifecycleStats, MemorySink, TraceEvent,
+    blame, parse_jsonl, span_trees, to_jsonl, BlameCause, EventKind, LifecycleStats, MemorySink,
+    Segment, TraceEvent,
 };
-use proteus_workloads::{ArrivalKind, ArrivalProcess, BurstyTrace, QueryArrival, TraceBuilder};
+use proteus_workloads::{
+    ArrivalKind, ArrivalProcess, BurstyTrace, FlatTrace, QueryArrival, TraceBuilder,
+};
 
 /// The committed golden trace (regenerate with `PROTEUS_REGEN_GOLDEN=1`).
 const GOLDEN: &str = include_str!("golden/tiny_trace.jsonl");
@@ -225,4 +229,233 @@ fn bursty_overload_blame_classifies_every_violation() {
         .filter(|e| matches!(e.kind, EventKind::ReplanTriggered { .. }))
         .count();
     assert_eq!(triggered, outcome.replan_log.len());
+}
+
+/// Asserts the span layer's additivity invariant on every query: the
+/// critical-path segments tile `[arrival, terminal]` exactly, so their
+/// durations sum to the observed end-to-end latency.
+fn check_critical_path_invariant(events: &[TraceEvent], context: &str) {
+    let trees = span_trees(events);
+    assert!(!trees.is_empty(), "{context}: no span trees reconstructed");
+    for tree in &trees {
+        assert_eq!(
+            tree.invariant_gap(),
+            0,
+            "{context}: query {} segments do not sum to its {} ns latency",
+            tree.query,
+            tree.observed().as_nanos()
+        );
+    }
+}
+
+/// Alternates a single V100 between two same-family ResNet variants on
+/// every replan — with nonzero solve latency and both variants fitting
+/// in device memory, each retarget takes the staged
+/// (serve-old-while-loading-new) path.
+#[derive(Debug)]
+struct AlternatingVariant {
+    calls: u32,
+}
+
+impl Allocator for AlternatingVariant {
+    fn name(&self) -> &'static str {
+        "alternating"
+    }
+
+    fn allocate(
+        &mut self,
+        _ctx: &AllocContext<'_>,
+        _demand: &FamilyMap<f64>,
+        _current: Option<&AllocationPlan>,
+        _now: SimTime,
+    ) -> AllocationPlan {
+        let index = if self.calls % 2 == 0 { 0 } else { 4 };
+        self.calls += 1;
+        let mut p = AllocationPlan::empty(2);
+        p.assign(
+            DeviceId(1),
+            Some(VariantId {
+                family: ModelFamily::ResNet,
+                index,
+            }),
+        );
+        p.set_routing(ModelFamily::ResNet, vec![(DeviceId(1), 1.0)]);
+        p.set_capacity(ModelFamily::ResNet, 1000.0);
+        p
+    }
+}
+
+#[test]
+fn staged_variant_swaps_keep_blame_and_critical_path_consistent() {
+    // Nonzero solve latency plus a short replan period: every periodic
+    // replan swaps ResNet-18 <-> ResNet-152 on the same V100. Both fit in
+    // device memory together, so the swaps are staged — the worker keeps
+    // serving the old variant through each load window.
+    let mut config = SystemConfig::paper_testbed();
+    config.cluster = Cluster::with_counts(1, 0, 1);
+    config.realloc_period_secs = 2.0;
+    config.burst_threshold = f64::INFINITY;
+    config.solve_latency = SolveLatency::Fixed(0.2);
+    config.audit = true;
+    let arrivals: Vec<QueryArrival> = ArrivalProcess::new(ArrivalKind::Uniform, 20.0, 0)
+        .take_for_secs(6.0)
+        .into_iter()
+        .map(|at| QueryArrival::new(at, ModelFamily::ResNet))
+        .collect();
+    let mut system = ServingSystem::new(
+        config,
+        Box::new(AlternatingVariant { calls: 0 }),
+        Box::new(ProteusBatching),
+    );
+    let mut sink = MemorySink::new();
+    let outcome = system.run_traced(&arrivals, &mut sink);
+    let events = sink.into_events();
+    check_terminal_invariant(&events);
+    check_critical_path_invariant(&events, "staged swap");
+
+    // Both variants actually executed on the V100…
+    let mut exec_variants: Vec<u8> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::ExecStarted { variant, .. } => Some(variant.index),
+            _ => None,
+        })
+        .collect();
+    exec_variants.sort_unstable();
+    exec_variants.dedup();
+    assert_eq!(
+        exec_variants,
+        vec![0, 4],
+        "both swap endpoints must serve batches"
+    );
+    // …yet the worker never went through a blocking load: the initial
+    // plan applies pre-loaded, and every later same-family swap is staged
+    // (background load), so no ModelLoadStarted ever appears.
+    let blocking_loads = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ModelLoadStarted { .. }))
+        .count();
+    assert_eq!(
+        blocking_loads, 0,
+        "staged swaps must not stall the worker in a foreground load"
+    );
+    assert!(
+        outcome.reallocations >= 3,
+        "the run must replan enough to swap back and forth"
+    );
+
+    // Blame still lands every violation in exactly one category, and no
+    // violation is misattributed to ModelLoad: the staged window never
+    // stalls the queue behind a weight transfer.
+    let stats = LifecycleStats::from_events(&events);
+    let report = blame(&events);
+    assert_eq!(report.total() as u64, stats.violations());
+    let by_cause: usize = BlameCause::ALL.iter().map(|&c| report.count(c)).sum();
+    assert_eq!(by_cause, report.total());
+    assert_eq!(
+        report.count(BlameCause::ModelLoad),
+        0,
+        "staged swaps must not charge violations to model loading"
+    );
+}
+
+#[test]
+fn stale_plan_overlap_windows_are_visible_to_blame_and_spans() {
+    // A bursty overload with slow solves: windows stay open for a second
+    // at a time while the burst drives violations, so violating queries
+    // overlap known-stale plans.
+    let mut config = SystemConfig::paper_testbed();
+    config.cluster = Cluster::with_counts(4, 2, 2);
+    config.solve_latency = SolveLatency::Fixed(1.0);
+    config.audit = true;
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(7)
+        .build(&BurstyTrace {
+            low_qps: 30.0,
+            high_qps: 400.0,
+            burst_start: 6,
+            burst_end: 14,
+            secs: 20,
+        });
+    let mut system = ServingSystem::new(
+        config,
+        Box::new(ProteusAllocator::default()),
+        Box::new(ProteusBatching),
+    );
+    let mut sink = MemorySink::new();
+    let _ = system.run_traced(&arrivals, &mut sink);
+    let events = sink.into_events();
+    check_terminal_invariant(&events);
+    check_critical_path_invariant(&events, "stale overlap");
+
+    let stats = LifecycleStats::from_events(&events);
+    assert!(
+        stats.violations() > 0,
+        "the burst must overload the cluster"
+    );
+    let report = blame(&events);
+    assert_eq!(report.total() as u64, stats.violations());
+    assert!(
+        report.stale_affected() > 0,
+        "some violations must overlap an open solve window"
+    );
+    // The span layer sees the same overlaps: stale-plan segments appear
+    // on queries whose wait crossed a solve window.
+    let trees = span_trees(&events);
+    let stale_total: u64 = trees
+        .iter()
+        .map(|t| t.segment_total(Segment::StalePlan).as_nanos())
+        .sum();
+    assert!(
+        stale_total > 0,
+        "no query accumulated stale-plan critical-path time"
+    );
+    let edge_count = trees
+        .iter()
+        .flat_map(|t| &t.edges)
+        .filter(|e| matches!(e, proteus_trace::CausalEdge::ServedUnderStalePlan { .. }))
+        .count();
+    assert!(edge_count > 0, "no ServedUnderStalePlan edges recorded");
+}
+
+#[test]
+fn critical_path_invariant_holds_under_chaos_schedules() {
+    // Property test: for any seeded fault schedule — crashes, recoveries,
+    // stragglers, load failures — every reconstructed span tree's
+    // segments sum exactly to the query's observed latency.
+    let horizon_secs = 10u32;
+    let arrivals = TraceBuilder::new(TraceBuilder::paper_families())
+        .seed(13)
+        .build(&FlatTrace {
+            qps: 60.0,
+            secs: horizon_secs,
+        });
+    let horizon = SimTime::from_secs(u64::from(horizon_secs));
+    // SystemConfig::small(): 5 CPU + 2 GTX + 2 V100.
+    let num_devices = 9;
+    for seed in 0..20u64 {
+        let schedule = FaultSchedule::seeded_random(seed, horizon, num_devices);
+        let mut config = SystemConfig::small();
+        config.audit = true;
+        config.faults = schedule;
+        config.solve_latency = SolveLatency::Model;
+        config.realloc_period_secs = 5.0;
+        let mut system = ServingSystem::new(
+            config,
+            Box::new(ProteusAllocator::default()),
+            Box::new(ProteusBatching),
+        );
+        let mut sink = MemorySink::new();
+        let outcome = system.run_traced(&arrivals, &mut sink);
+        let events = sink.into_events();
+        check_terminal_invariant(&events);
+        check_critical_path_invariant(&events, &format!("chaos seed {seed}"));
+        // Span trees cover exactly the arrived population.
+        let s = outcome.metrics.summary();
+        assert_eq!(
+            span_trees(&events).len() as u64,
+            s.total_arrived,
+            "seed {seed}: every arrival reconstructs to one span tree"
+        );
+    }
 }

@@ -126,6 +126,49 @@ pub fn fmt_f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+/// Renders a fixed-width waterfall cell: the `[start, end)` fraction of
+/// the row (both in `0.0..=1.0`) is filled, the rest blank. Used by
+/// `trace-query critpath` to draw per-segment latency bars that line up
+/// across rows.
+///
+/// Out-of-range fractions are clamped; an inverted range renders empty.
+pub fn waterfall_bar(start: f64, end: f64, width: usize) -> String {
+    let clamp = |f: f64| (f.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let (lo, hi) = (clamp(start), clamp(end).min(width));
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        // A nonempty range always shows at least one cell, so very short
+        // segments stay visible.
+        out.push(if i >= lo && (i < hi || (i == lo && end > start)) {
+            '\u{2588}'
+        } else {
+            ' '
+        });
+    }
+    out
+}
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters). The machine-readable outputs of
+/// the CLI binaries are hand-rolled, mirroring the dep-free trace format.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a compact ASCII sparkline of a series, for quick trace
 /// inspection in terminal output.
 ///
@@ -179,6 +222,25 @@ mod tests {
     fn fmt_f_controls_digits() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_f(2.0, 0), "2");
+    }
+
+    #[test]
+    fn waterfall_bar_fills_the_requested_range() {
+        let bar = waterfall_bar(0.25, 0.75, 8);
+        assert_eq!(bar.chars().count(), 8);
+        assert_eq!(bar, "  ████  ");
+        // Zero-length ranges are empty; tiny nonzero ones show one cell.
+        assert_eq!(waterfall_bar(0.5, 0.5, 8).trim(), "");
+        assert_eq!(waterfall_bar(0.5, 0.5001, 8).trim(), "█");
+        // Clamped out-of-range input does not panic.
+        assert_eq!(waterfall_bar(-1.0, 2.0, 4), "████");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

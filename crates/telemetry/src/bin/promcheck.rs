@@ -23,8 +23,8 @@ fn main() -> ExitCode {
     match proteus_telemetry::validate(&text) {
         Ok(stats) => {
             println!(
-                "promcheck: OK — {} pages, {} samples, {} series",
-                stats.pages, stats.samples, stats.series
+                "promcheck: OK — {} pages, {} samples, {} series, {} exemplars",
+                stats.pages, stats.samples, stats.series, stats.exemplars
             );
             ExitCode::SUCCESS
         }

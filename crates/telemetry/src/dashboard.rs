@@ -204,7 +204,7 @@ mod tests {
         for s in 1..=3u64 {
             for _ in 0..10 {
                 reg.on_arrival(ModelFamily::YoloV5);
-                reg.on_served(ModelFamily::YoloV5, 0.91, true, SimTime::from_millis(30));
+                reg.on_served(1, ModelFamily::YoloV5, 0.91, true, SimTime::from_millis(30));
             }
             let flows = reg.seal_step(SimTime::from_secs(s), &[]);
             burn.push_step(SimTime::from_secs(s), &flows);

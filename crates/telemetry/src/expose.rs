@@ -70,6 +70,38 @@ impl Page {
         }
         let _ = writeln!(self.out, " {}", num(value));
     }
+
+    /// Like [`sample`](Self::sample) but appends an OpenMetrics-style
+    /// exemplar: ` # {query_id="…"} <value>`. Prometheus text-format
+    /// parsers treat everything after ` # ` as a comment, so the line
+    /// stays valid 0.0.4 while OpenMetrics-aware scrapers pick up the
+    /// trace link.
+    fn sample_exemplar(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        query: u64,
+        observed: f64,
+    ) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(
+            self.out,
+            " {} # {{query_id=\"{query}\"}} {}",
+            num(value),
+            num(observed)
+        );
+    }
 }
 
 /// Renders one exposition page for the window that just closed.
@@ -288,7 +320,18 @@ pub fn render_page(
     for q in [0.5, 0.9, 0.99] {
         if let Some(v) = lat.quantile(q) {
             let label = format!("{q}");
-            p.sample("proteus_latency_seconds", &[("quantile", &label)], v);
+            // Exemplar: the concrete query behind the quantile's bucket,
+            // so a p99 point links straight to `trace-query critpath`.
+            match lat.exemplar_for(q) {
+                Some(e) => p.sample_exemplar(
+                    "proteus_latency_seconds",
+                    &[("quantile", &label)],
+                    v,
+                    e.query,
+                    e.value,
+                ),
+                None => p.sample("proteus_latency_seconds", &[("quantile", &label)], v),
+            }
         }
     }
     p.sample("proteus_latency_seconds_sum", &[], lat.sum());
@@ -462,7 +505,13 @@ mod tests {
             SimTime::from_secs(1),
         );
         reg.on_arrival(ModelFamily::ResNet);
-        reg.on_served(ModelFamily::ResNet, 0.95, true, SimTime::from_millis(40));
+        reg.on_served(
+            42,
+            ModelFamily::ResNet,
+            0.95,
+            true,
+            SimTime::from_millis(40),
+        );
         let flows = reg.seal_step(
             SimTime::from_secs(1),
             &[crate::registry::DeviceSample::default()],
@@ -474,6 +523,12 @@ mod tests {
         assert!(page.contains("# TYPE proteus_queries_arrived_total counter"));
         assert!(page.contains("proteus_queries_arrived_total{family=\"ResNet\"} 1"));
         assert!(page.contains("proteus_latency_seconds_count 1"));
+        // Latency quantiles carry the exemplar of the query behind them:
+        // the exact observed value (0.04 s) attributed to query 42.
+        assert!(
+            page.contains("# {query_id=\"42\"} 0.04"),
+            "missing exemplar: {page}"
+        );
         assert!(page.contains("proteus_slo_burn_rate{scope=\"all\",window=\"60s\"}"));
         // Every sample's metric has a HELP and TYPE line in the page.
         for line in page

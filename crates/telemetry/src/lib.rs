@@ -39,5 +39,5 @@ pub use burn::{AlertTransition, BurnEngine, BurnRule};
 pub use dashboard::Dashboard;
 pub use registry::{DeviceSample, FlowCell, Phase, Registry, WindowView};
 pub use runtime::{AlertRecord, TelemetryConfig, TelemetryRuntime, TelemetrySummary};
-pub use sketch::QuantileSketch;
+pub use sketch::{Exemplar, QuantileSketch};
 pub use validate::{validate, Stats, Violation};

@@ -229,7 +229,7 @@ impl Registry {
             phase_nanos: [0; Phase::COUNT],
             phase_calls: [0; Phase::COUNT],
             reallocations: 0,
-            latency: QuantileSketch::new(sketch_alpha, 2048),
+            latency: QuantileSketch::new(sketch_alpha, 2048).with_exemplars(),
             solve_started_at: None,
             stale_age: QuantileSketch::new(sketch_alpha, 2048),
             last_seal: SimTime::ZERO,
@@ -248,10 +248,13 @@ impl Registry {
         self.totals[family.index()].arrived += 1;
     }
 
-    /// Records a served query with its end-to-end latency.
+    /// Records a served query with its end-to-end latency. The query ID
+    /// feeds the latency sketch's exemplar store, linking exported
+    /// quantiles back to concrete traces.
     #[inline]
     pub fn on_served(
         &mut self,
+        query: u64,
         family: ModelFamily,
         accuracy: f64,
         on_time: bool,
@@ -267,7 +270,7 @@ impl Registry {
         }
         self.cur[i].accuracy_sum += accuracy;
         self.totals[i].accuracy_sum += accuracy;
-        self.latency.record(latency.as_secs_f64());
+        self.latency.record_exemplar(latency.as_secs_f64(), query);
     }
 
     /// Records a dropped query.
@@ -516,8 +519,8 @@ mod tests {
     #[test]
     fn served_feeds_accuracy_and_latency() {
         let mut r = Registry::new(t(10), t(1), 0.01);
-        r.on_served(ModelFamily::Bert, 0.9, true, SimTime::from_millis(50));
-        r.on_served(ModelFamily::Bert, 0.7, false, SimTime::from_millis(250));
+        r.on_served(1, ModelFamily::Bert, 0.9, true, SimTime::from_millis(50));
+        r.on_served(2, ModelFamily::Bert, 0.7, false, SimTime::from_millis(250));
         r.on_dropped(ModelFamily::Bert);
         r.seal_step(t(1), &[]);
         let w = r.window().unwrap();
@@ -526,5 +529,7 @@ mod tests {
         assert_eq!(cell.violations(), 2);
         assert!((cell.accuracy_sum - 1.6).abs() < 1e-12);
         assert_eq!(r.latency().count(), 2);
+        // The slow query is the p99 exemplar.
+        assert_eq!(r.latency().exemplar_for(0.99).unwrap().query, 2);
     }
 }

@@ -176,16 +176,18 @@ impl TelemetryRuntime {
         self.registry.on_arrival(family);
     }
 
-    /// Records a served query.
+    /// Records a served query; the ID links latency exemplars to traces.
     #[inline]
     pub fn on_served(
         &mut self,
+        query: u64,
         family: ModelFamily,
         accuracy: f64,
         on_time: bool,
         latency: SimTime,
     ) {
-        self.registry.on_served(family, accuracy, on_time, latency);
+        self.registry
+            .on_served(query, family, accuracy, on_time, latency);
     }
 
     /// Records a dropped query.
@@ -364,7 +366,7 @@ mod tests {
                 if s == 3 || s == 4 {
                     rt.on_dropped(ModelFamily::Bert);
                 } else {
-                    rt.on_served(ModelFamily::Bert, 0.9, true, SimTime::from_millis(20));
+                    rt.on_served(1, ModelFamily::Bert, 0.9, true, SimTime::from_millis(20));
                 }
             }
             fired += rt
@@ -399,7 +401,7 @@ mod tests {
         let mut rt = TelemetryRuntime::new(cfg);
         for s in 1..=5u64 {
             rt.on_arrival(ModelFamily::ResNet);
-            rt.on_served(ModelFamily::ResNet, 0.95, true, SimTime::from_millis(35));
+            rt.on_served(s, ModelFamily::ResNet, 0.95, true, SimTime::from_millis(35));
             rt.tick(SimTime::from_secs(s), &devs());
         }
         let summary = rt.finish(SimTime::from_secs(6), &devs());

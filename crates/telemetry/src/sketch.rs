@@ -14,6 +14,23 @@
 /// (the logarithmic grid cannot represent zero).
 const MIN_TRACKABLE: f64 = 1e-12;
 
+/// How many top grid buckets retain an exemplar when exemplar tracking is
+/// on. Upper quantiles are the ones SLO debugging cares about, so only
+/// the highest-valued buckets keep a concrete query to point at.
+const EXEMPLAR_KEYS: usize = 8;
+
+/// A concrete observation retained alongside the sketch: the query that
+/// most recently landed in one of the top buckets, with its exact value.
+/// Links an aggregate quantile (e.g. p99 latency) back to a specific
+/// trace (`trace-query critpath <query>`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The query ID whose observation landed in the bucket.
+    pub query: u64,
+    /// The exact recorded value (not the bucket midpoint).
+    pub value: f64,
+}
+
 /// Error merging two sketches with different grids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchMismatch;
@@ -41,6 +58,12 @@ pub struct QuantileSketch {
     sum: f64,
     min: f64,
     max: f64,
+    /// Whether [`record_exemplar`](Self::record_exemplar) retains
+    /// exemplars (off by default so plain sketches carry no extra state).
+    keep_exemplars: bool,
+    /// Retained exemplars, sorted ascending by grid key; at most
+    /// [`EXEMPLAR_KEYS`] entries, always the highest keys seen so far.
+    exemplars: Vec<(i64, Exemplar)>,
 }
 
 impl QuantileSketch {
@@ -60,7 +83,17 @@ impl QuantileSketch {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            keep_exemplars: false,
+            exemplars: Vec::new(),
         }
+    }
+
+    /// Enables exemplar retention:
+    /// [`record_exemplar`](Self::record_exemplar) will keep the latest
+    /// query landing in each of the top `EXEMPLAR_KEYS` (8) grid buckets.
+    pub fn with_exemplars(mut self) -> Self {
+        self.keep_exemplars = true;
+        self
     }
 
     /// The configured relative-error bound.
@@ -107,6 +140,65 @@ impl QuantileSketch {
         }
         let k = self.key(v);
         self.add_at_key(k, 1);
+    }
+
+    /// Records one value attributed to a query, retaining it as the
+    /// bucket's exemplar when exemplar tracking is on. Identical to
+    /// [`record`](Self::record) otherwise.
+    pub fn record_exemplar(&mut self, v: f64, query: u64) {
+        self.record(v);
+        if !self.keep_exemplars || !v.is_finite() || v <= MIN_TRACKABLE {
+            return;
+        }
+        let key = self.key(v);
+        match self.exemplars.binary_search_by_key(&key, |&(k, _)| k) {
+            // Latest observation wins: a fresh trace is more likely to
+            // still be in the recorded window than an early one.
+            Ok(i) => self.exemplars[i].1 = Exemplar { query, value: v },
+            Err(i) => {
+                self.exemplars
+                    .insert(i, (key, Exemplar { query, value: v }));
+                if self.exemplars.len() > EXEMPLAR_KEYS {
+                    // Evict the lowest key — mirrors the grid's policy of
+                    // sacrificing the low tail to protect upper quantiles.
+                    self.exemplars.remove(0);
+                }
+            }
+        }
+    }
+
+    /// The exemplar for the `q`-quantile: the retained query whose bucket
+    /// is at (or nearest above) the quantile's bucket. `None` when the
+    /// sketch is empty, exemplar tracking is off, or the quantile falls
+    /// in the zero bucket.
+    pub fn exemplar_for(&self, q: f64) -> Option<Exemplar> {
+        if self.count == 0 || self.exemplars.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return None;
+        }
+        // Same walk as `quantile`, yielding the target grid key.
+        let mut cum = self.zero_count;
+        let mut target = self.min_key + self.buckets.len() as i64 - 1;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                target = self.min_key + i as i64;
+                break;
+            }
+        }
+        // Only the top buckets retain exemplars, so a low quantile may
+        // resolve to a bucket without one; the nearest retained bucket
+        // above it is the closest concrete trace. Fall back to the
+        // highest retained bucket for quantiles above every exemplar.
+        self.exemplars
+            .iter()
+            .find(|&&(k, _)| k >= target)
+            .or_else(|| self.exemplars.last())
+            .map(|&(_, e)| e)
     }
 
     fn add_at_key(&mut self, key: i64, n: u64) {
@@ -201,6 +293,18 @@ impl QuantileSketch {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if !other.exemplars.is_empty() {
+            self.keep_exemplars = true;
+            for &(k, e) in &other.exemplars {
+                match self.exemplars.binary_search_by_key(&k, |&(key, _)| key) {
+                    Ok(i) => self.exemplars[i].1 = e,
+                    Err(i) => self.exemplars.insert(i, (k, e)),
+                }
+            }
+            while self.exemplars.len() > EXEMPLAR_KEYS {
+                self.exemplars.remove(0);
+            }
+        }
         Ok(())
     }
 }
@@ -304,5 +408,56 @@ mod tests {
         let mut a = QuantileSketch::new(0.01, 64);
         let b = QuantileSketch::new(0.05, 64);
         assert_eq!(a.merge(&b), Err(SketchMismatch));
+    }
+
+    #[test]
+    fn exemplars_link_upper_quantiles_to_queries() {
+        let mut s = QuantileSketch::new(0.01, 1024).with_exemplars();
+        // 100 queries with latency i ms; query 100 is the worst.
+        for i in 1..=100u64 {
+            s.record_exemplar(i as f64 * 1e-3, i);
+        }
+        let p99 = s.exemplar_for(0.99).unwrap();
+        assert!(p99.query >= 93, "p99 exemplar too low: {:?}", p99);
+        assert!((p99.value - p99.query as f64 * 1e-3).abs() < 1e-12);
+        assert_eq!(s.exemplar_for(1.0).unwrap().query, 100);
+        // Low quantiles fall below every retained bucket; the nearest
+        // retained bucket above still yields a concrete query.
+        assert!(s.exemplar_for(0.0).is_some());
+        // The store stays bounded regardless of how many buckets exist.
+        assert!(s.exemplars.len() <= EXEMPLAR_KEYS);
+    }
+
+    #[test]
+    fn exemplars_are_opt_in_and_latest_wins() {
+        let mut off = QuantileSketch::new(0.01, 1024);
+        off.record_exemplar(0.5, 7);
+        assert_eq!(off.exemplar_for(0.99), None);
+        assert_eq!(off.count(), 1);
+
+        let mut on = QuantileSketch::new(0.01, 1024).with_exemplars();
+        // Two observations in the same grid bucket: the later query is
+        // retained.
+        on.record_exemplar(0.5, 7);
+        on.record_exemplar(0.5, 8);
+        assert_eq!(on.exemplar_for(1.0).unwrap().query, 8);
+        // Zero-bucket observations never become exemplars.
+        on.record_exemplar(0.0, 9);
+        assert_eq!(on.exemplar_for(1.0).unwrap().query, 8);
+    }
+
+    #[test]
+    fn merge_carries_exemplars() {
+        let mut a = QuantileSketch::new(0.01, 1024).with_exemplars();
+        let mut b = QuantileSketch::new(0.01, 1024).with_exemplars();
+        a.record_exemplar(0.1, 1);
+        b.record_exemplar(10.0, 2);
+        a.merge(&b).unwrap();
+        assert_eq!(a.exemplar_for(1.0).unwrap().query, 2);
+        // Merging into a plain sketch adopts the exemplars.
+        let mut plain = QuantileSketch::new(0.01, 1024);
+        plain.record(5.0);
+        plain.merge(&b).unwrap();
+        assert_eq!(plain.exemplar_for(1.0).unwrap().query, 2);
     }
 }

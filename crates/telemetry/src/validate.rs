@@ -44,6 +44,8 @@ pub struct Stats {
     pub samples: usize,
     /// Distinct series (name + label set).
     pub series: usize,
+    /// Samples carrying an OpenMetrics-style exemplar.
+    pub exemplars: usize,
 }
 
 fn valid_metric_name(name: &str) -> bool {
@@ -74,6 +76,47 @@ struct Sample {
     /// Sorted `(label, unescaped value)` pairs.
     labels: Vec<(String, String)>,
     value: f64,
+    /// Whether the line carried a (syntactically valid) exemplar.
+    exemplar: bool,
+}
+
+/// Validates the exemplar portion of a sample line — the text after
+/// ` # `, expected as `{label="value",…} value` (OpenMetrics syntax).
+/// Label values here are simple (query IDs), so quoting is checked but
+/// escapes inside exemplar labels are not interpreted.
+fn check_exemplar(ex: &str) -> Result<(), String> {
+    let body = ex
+        .trim()
+        .strip_prefix('{')
+        .ok_or("exemplar must start with `{`")?;
+    let (labels, rest) = body
+        .split_once('}')
+        .ok_or("exemplar label set is unterminated")?;
+    for pair in labels.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("exemplar label `{pair}` has no `=`"))?;
+        if !valid_label_name(key) {
+            return Err(format!("invalid exemplar label name `{key}`"));
+        }
+        if value.len() < 2 || !value.starts_with('"') || !value.ends_with('"') {
+            return Err(format!("exemplar label `{key}` value is not quoted"));
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let value = parts.next().ok_or("exemplar has no value")?;
+    if !valid_value(value) {
+        return Err(format!("invalid exemplar value `{value}`"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<f64>().is_err() {
+            return Err(format!("invalid exemplar timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after exemplar".into());
+    }
+    Ok(())
 }
 
 /// Parses `name{l="v",…} value [timestamp]`.
@@ -169,6 +212,12 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
         }
     }
     let rest = line[pos..].trim_start();
+    // An OpenMetrics-style exemplar may trail the sample. The label set
+    // was consumed above, so a bare ` # ` here can only introduce one.
+    let (rest, exemplar) = match rest.split_once(" # ") {
+        Some((main, ex)) => (main, Some(ex)),
+        None => (rest, None),
+    };
     let mut parts = rest.split_whitespace();
     let value = parts.next().ok_or("sample has no value")?;
     if !valid_value(value) {
@@ -182,11 +231,15 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
     if parts.next().is_some() {
         return Err("trailing tokens after sample".into());
     }
+    if let Some(ex) = exemplar {
+        check_exemplar(ex)?;
+    }
     labels.sort();
     Ok(Sample {
         name: name.to_string(),
         labels,
         value: value.parse().unwrap_or(f64::NAN),
+        exemplar: exemplar.is_some(),
     })
 }
 
@@ -205,6 +258,7 @@ pub fn validate(text: &str) -> Result<Stats, Vec<Violation>> {
     let mut counters: HashMap<String, f64> = HashMap::new();
     let mut series: HashMap<String, ()> = HashMap::new();
     let mut samples = 0usize;
+    let mut exemplars = 0usize;
 
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -292,6 +346,7 @@ pub fn validate(text: &str) -> Result<Stats, Vec<Violation>> {
             }),
             Ok(sample) => {
                 samples += 1;
+                exemplars += usize::from(sample.exemplar);
                 // Resolve the declaring metric: exact, else summary /
                 // histogram child.
                 let (base, kind) = match types.get(&sample.name) {
@@ -367,6 +422,7 @@ pub fn validate(text: &str) -> Result<Stats, Vec<Violation>> {
             pages: page_no.max(usize::from(samples > 0)),
             samples,
             series: series.len(),
+            exemplars,
         })
     } else {
         Err(violations)
@@ -433,6 +489,38 @@ mod tests {
             assert!(
                 errs.iter().any(|v| v.message.contains(needle)),
                 "{doc:?} -> {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_and_counts_exemplars() {
+        let doc = "# HELP lat latency\n\
+                   # TYPE lat summary\n\
+                   lat{quantile=\"0.99\"} 0.25 # {query_id=\"1234\"} 0.251\n\
+                   lat{quantile=\"0.5\"} 0.1\n\
+                   lat_sum 10\n\
+                   lat_count 100\n";
+        let stats = validate(doc).unwrap();
+        assert_eq!(stats.samples, 4);
+        assert_eq!(stats.exemplars, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_exemplars() {
+        for (ex, needle) in [
+            ("# {query_id=\"1\"}", "exemplar has no value"),
+            ("# query_id=\"1\" 0.2", "must start with `{`"),
+            ("# {query_id=1} 0.2", "not quoted"),
+            ("# {9bad=\"1\"} 0.2", "invalid exemplar label name"),
+            ("# {query_id=\"1\"} xyz", "invalid exemplar value"),
+            ("# {query_id=\"1\"} 0.2 3.5 extra", "trailing tokens"),
+        ] {
+            let doc = format!("# HELP m x\n# TYPE m gauge\nm 1 {ex}\n");
+            let errs = validate(&doc).unwrap_err();
+            assert!(
+                errs.iter().any(|v| v.message.contains(needle)),
+                "{ex:?} -> {errs:?}"
             );
         }
     }

@@ -384,6 +384,7 @@ mod tests {
                     query: 1,
                     device: DeviceId(0),
                     depth: 1,
+                    behind: None,
                 },
             ),
             ev(
@@ -399,6 +400,7 @@ mod tests {
                     query: 2,
                     device: DeviceId(0),
                     depth: 2,
+                    behind: None,
                 },
             ),
             ev(
@@ -431,6 +433,7 @@ mod tests {
                 EventKind::ServedOnTime {
                     query: 1,
                     latency: t(100),
+                    epoch: 0,
                 },
             ),
             ev(
@@ -463,6 +466,7 @@ mod tests {
                 EventKind::ServedLate {
                     query: 2,
                     latency: t(200),
+                    epoch: 0,
                 },
             ),
         ]
@@ -519,6 +523,7 @@ mod tests {
                     query: 1,
                     device: DeviceId(0),
                     depth: 1,
+                    behind: None,
                 },
             ),
             ev(
@@ -558,6 +563,7 @@ mod tests {
                 EventKind::ServedLate {
                     query: 1,
                     latency: t(950),
+                    epoch: 0,
                 },
             ),
         ];
@@ -577,6 +583,7 @@ mod tests {
                     query: 1,
                     device: DeviceId(0),
                     depth: 1,
+                    behind: None,
                 },
             ),
             ev(
@@ -602,6 +609,7 @@ mod tests {
                 EventKind::ServedLate {
                     query: 1,
                     latency: t(600),
+                    epoch: 0,
                 },
             ),
         ];
@@ -633,6 +641,7 @@ mod tests {
                     query: 3,
                     device: DeviceId(0),
                     depth: 1,
+                    behind: None,
                 },
             ),
             // d0 busy the whole time q3 waited → its expiry is queueing.
@@ -734,6 +743,7 @@ mod tests {
                     query: 1,
                     device: DeviceId(0),
                     depth: 1,
+                    behind: None,
                 },
             ),
             ev(
@@ -759,6 +769,7 @@ mod tests {
                 EventKind::ServedLate {
                     query: 1,
                     latency: t(700),
+                    epoch: 0,
                 },
             ),
         ];

@@ -4,8 +4,10 @@
 //! Event Format, which loads directly in `chrome://tracing` and in
 //! [Perfetto](https://ui.perfetto.dev). Workers are rendered as tracks
 //! (one `tid` per device), batch executions and model loads as duration
-//! spans, and control-plane decisions as instants on a dedicated
-//! controller track.
+//! spans, and control-plane decisions live on a dedicated controller
+//! track: each solve window is an async begin/end span (so overlapping
+//! replan activity nests visibly), with a flow arrow connecting the
+//! solve's commit to the `PlanApplied` instant it produces.
 
 use crate::event::{EventKind, TraceEvent};
 
@@ -47,6 +49,14 @@ pub fn export_chrome(events: &[TraceEvent]) -> String {
         ),
         &mut out,
     );
+
+    // Solve windows are async spans: `SolveStarted` opens one,
+    // `SolveComplete` / `PlanDiscarded` closes it. The id pairs begin
+    // with end; the flow id carries the arrow from a committed solve to
+    // the `PlanApplied` instant that follows it.
+    let mut solve_seq: u64 = 0;
+    let mut open_solve: Option<u64> = None;
+    let mut pending_flow: Option<u64> = None;
 
     for event in events {
         let ts = micros(event.at.as_nanos());
@@ -116,17 +126,54 @@ pub fn export_chrome(events: &[TraceEvent]) -> String {
                 );
             }
             EventKind::SolveStarted { cause, until } => {
-                let dur = micros(until.saturating_sub(event.at).as_nanos());
+                solve_seq += 1;
+                open_solve = Some(solve_seq);
                 emit(
                     &format!(
-                        "{{\"name\":\"solve ({})\",\"cat\":\"control\",\"ph\":\"X\",\
-                         \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{CONTROLLER_TID}}}",
-                        cause.label()
+                        "{{\"name\":\"solve\",\"cat\":\"control\",\"ph\":\"b\",\
+                         \"id\":{solve_seq},\"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\
+                         \"args\":{{\"cause\":\"{}\",\"scheduled_commit_us\":{}}}}}",
+                        cause.label(),
+                        micros(until.as_nanos())
                     ),
                     &mut out,
                 );
             }
+            EventKind::SolveComplete { cause } => {
+                if let Some(id) = open_solve.take() {
+                    emit(
+                        &format!(
+                            "{{\"name\":\"solve\",\"cat\":\"control\",\"ph\":\"e\",\
+                             \"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\
+                             \"args\":{{\"cause\":\"{}\",\"outcome\":\"committed\"}}}}",
+                            cause.label()
+                        ),
+                        &mut out,
+                    );
+                    // Flow start: the arrow departs the solve's commit and
+                    // lands on the `PlanApplied` instant that follows.
+                    emit(
+                        &format!(
+                            "{{\"name\":\"plan\",\"cat\":\"flow\",\"ph\":\"s\",\
+                             \"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID}}}"
+                        ),
+                        &mut out,
+                    );
+                    pending_flow = Some(id);
+                }
+            }
             EventKind::PlanDiscarded { cause, reason } => {
+                if let Some(id) = open_solve.take() {
+                    emit(
+                        &format!(
+                            "{{\"name\":\"solve\",\"cat\":\"control\",\"ph\":\"e\",\
+                             \"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID},\
+                             \"args\":{{\"cause\":\"{}\",\"outcome\":\"discarded\"}}}}",
+                            cause.label()
+                        ),
+                        &mut out,
+                    );
+                }
                 emit(
                     &format!(
                         "{{\"name\":\"plan discarded ({})\",\"cat\":\"control\",\"ph\":\"i\",\
@@ -139,6 +186,16 @@ pub fn export_chrome(events: &[TraceEvent]) -> String {
                 );
             }
             EventKind::PlanApplied { changed, shrink } => {
+                if let Some(id) = pending_flow.take() {
+                    // Flow finish: binds to the enclosing instant below.
+                    emit(
+                        &format!(
+                            "{{\"name\":\"plan\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                             \"id\":{id},\"ts\":{ts},\"pid\":0,\"tid\":{CONTROLLER_TID}}}"
+                        ),
+                        &mut out,
+                    );
+                }
                 emit(
                     &format!(
                         "{{\"name\":\"plan applied\",\"cat\":\"control\",\"ph\":\"i\",\
@@ -227,6 +284,19 @@ mod tests {
                     until: SimTime::from_nanos(9_500_500),
                 },
             },
+            TraceEvent {
+                at: SimTime::from_millis(9),
+                kind: EventKind::SolveComplete {
+                    cause: ReplanCause::Initial,
+                },
+            },
+            TraceEvent {
+                at: SimTime::from_millis(9),
+                kind: EventKind::PlanApplied {
+                    changed: 2,
+                    shrink: 1.0,
+                },
+            },
         ]
     }
 
@@ -248,10 +318,46 @@ mod tests {
     }
 
     #[test]
-    fn solve_windows_become_controller_spans() {
+    fn solve_windows_become_async_spans_with_flow_to_plan() {
         let doc = export_chrome(&sample());
-        assert!(doc.contains("\"name\":\"solve (initial)\""));
-        assert!(doc.contains("\"dur\":4000"));
+        // Async begin at 5 ms, end at 9 ms, paired by id.
+        assert!(doc
+            .contains("\"name\":\"solve\",\"cat\":\"control\",\"ph\":\"b\",\"id\":1,\"ts\":5000"));
+        assert!(doc
+            .contains("\"name\":\"solve\",\"cat\":\"control\",\"ph\":\"e\",\"id\":1,\"ts\":9000"));
+        assert!(doc.contains("\"cause\":\"initial\""));
+        assert!(doc.contains("\"outcome\":\"committed\""));
+        // Flow arrow from the solve's commit to the applied plan.
+        assert!(doc.contains("\"cat\":\"flow\",\"ph\":\"s\",\"id\":1,\"ts\":9000"));
+        assert!(doc.contains("\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"ts\":9000"));
+        assert!(doc.contains("\"name\":\"plan applied\""));
+    }
+
+    #[test]
+    fn discarded_solves_close_the_span_without_a_flow() {
+        let events = vec![
+            TraceEvent {
+                at: SimTime::from_millis(1),
+                kind: EventKind::SolveStarted {
+                    cause: ReplanCause::DeviceFailure,
+                    until: SimTime::from_millis(4),
+                },
+            },
+            TraceEvent {
+                at: SimTime::from_millis(3),
+                kind: EventKind::PlanDiscarded {
+                    cause: ReplanCause::DeviceFailure,
+                    reason: crate::event::DiscardReason::Liveness,
+                },
+            },
+        ];
+        let doc = export_chrome(&events);
+        assert!(doc.contains("\"ph\":\"b\",\"id\":1,\"ts\":1000"));
+        assert!(doc.contains("\"ph\":\"e\",\"id\":1,\"ts\":3000"));
+        assert!(doc.contains("\"outcome\":\"discarded\""));
+        assert!(doc.contains("plan discarded"));
+        // No commit, no arrow.
+        assert!(!doc.contains("\"cat\":\"flow\""));
     }
 
     #[test]

@@ -210,6 +210,10 @@ pub enum EventKind {
         device: DeviceId,
         /// Queue depth *after* the insert.
         depth: u32,
+        /// Causal link: the batch executing on the worker at enqueue time,
+        /// if any. The query cannot start before this batch drains, so the
+        /// span layer draws a queued-behind edge to it.
+        behind: Option<u64>,
     },
     /// The batching policy formed a batch from the queue head.
     BatchFormed {
@@ -246,6 +250,10 @@ pub enum EventKind {
         query: u64,
         /// End-to-end response latency.
         latency: SimTime,
+        /// Causal link: the allocation-plan epoch (count of applied plans)
+        /// the query was served under. Lets the span layer tie a response
+        /// to the concrete plan in force at completion time.
+        epoch: u64,
     },
     /// Terminal: a response was produced after the deadline.
     ServedLate {
@@ -253,6 +261,9 @@ pub enum EventKind {
         query: u64,
         /// End-to-end response latency.
         latency: SimTime,
+        /// Causal link: the allocation-plan epoch the query was served
+        /// under (see [`EventKind::ServedOnTime::epoch`]).
+        epoch: u64,
     },
     /// Terminal: no response was produced.
     Dropped {
@@ -508,6 +519,7 @@ mod tests {
         let served = EventKind::ServedOnTime {
             query: 7,
             latency: SimTime::from_millis(3),
+            epoch: 1,
         };
         assert_eq!(served.query(), Some(7));
         assert!(served.is_terminal());

@@ -43,8 +43,12 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
             query,
             device,
             depth,
+            behind,
         } => {
             let _ = write!(s, ",\"q\":{query},\"d\":{},\"depth\":{depth}", device.0);
+            if let Some(b) = behind {
+                let _ = write!(s, ",\"behind\":{b}");
+            }
         }
         EventKind::BatchFormed {
             device,
@@ -77,8 +81,21 @@ pub fn to_jsonl(event: &TraceEvent) -> String {
         EventKind::ExecCompleted { device, batch } => {
             let _ = write!(s, ",\"d\":{},\"batch\":{batch}", device.0);
         }
-        EventKind::ServedOnTime { query, latency } | EventKind::ServedLate { query, latency } => {
-            let _ = write!(s, ",\"q\":{query},\"latency\":{}", latency.as_nanos());
+        EventKind::ServedOnTime {
+            query,
+            latency,
+            epoch,
+        }
+        | EventKind::ServedLate {
+            query,
+            latency,
+            epoch,
+        } => {
+            let _ = write!(
+                s,
+                ",\"q\":{query},\"latency\":{},\"epoch\":{epoch}",
+                latency.as_nanos()
+            );
         }
         EventKind::Dropped { query, reason } => {
             let _ = write!(s, ",\"q\":{query},\"reason\":\"{}\"", reason.label());
@@ -266,6 +283,18 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
             }),
         }
     };
+    // Optional integer: absent keys yield `None` so traces written before a
+    // field existed still parse (needed by `trace-query diff` across builds).
+    let opt_int = |key: &str| -> Result<Option<u64>, ParseEventError> {
+        match fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            None | Some(Val::Null) => Ok(None),
+            Some(Val::Int(n)) => Ok(Some(*n)),
+            Some(other) => Err(ParseEventError {
+                line: 0,
+                reason: format!("field `{key}` is not an integer: {other:?}"),
+            }),
+        }
+    };
     let float = |key: &str| -> Result<f64, ParseEventError> {
         match get(key)? {
             Val::Float(x) => Ok(*x),
@@ -323,6 +352,7 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
             query: int("q")?,
             device: device()?,
             depth: int("depth")? as u32,
+            behind: opt_int("behind")?,
         },
         "batch_formed" => EventKind::BatchFormed {
             device: device()?,
@@ -351,10 +381,12 @@ pub fn parse_line(text: &str) -> Result<TraceEvent, ParseEventError> {
         "served_on_time" => EventKind::ServedOnTime {
             query: int("q")?,
             latency: time("latency")?,
+            epoch: opt_int("epoch")?.unwrap_or(0),
         },
         "served_late" => EventKind::ServedLate {
             query: int("q")?,
             latency: time("latency")?,
+            epoch: opt_int("epoch")?.unwrap_or(0),
         },
         "dropped" => EventKind::Dropped {
             query: int("q")?,
@@ -712,6 +744,13 @@ mod tests {
                 query: 17,
                 device: DeviceId(3),
                 depth: 4,
+                behind: None,
+            },
+            EventKind::Enqueued {
+                query: 18,
+                device: DeviceId(3),
+                depth: 5,
+                behind: Some(8),
             },
             EventKind::BatchFormed {
                 device: DeviceId(3),
@@ -737,10 +776,12 @@ mod tests {
             EventKind::ServedOnTime {
                 query: 17,
                 latency: t(45),
+                epoch: 2,
             },
             EventKind::ServedLate {
                 query: 16,
                 latency: t(450),
+                epoch: 0,
             },
             EventKind::Dropped {
                 query: 15,
@@ -913,6 +954,32 @@ mod tests {
         ] {
             assert!(parse_line(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn pre_causal_link_lines_still_parse() {
+        // Traces written before `behind`/`epoch` existed must stay readable
+        // so `trace-query diff` can align runs across builds.
+        let enq = parse_line("{\"t\":1,\"ev\":\"enqueued\",\"q\":7,\"d\":2,\"depth\":1}").unwrap();
+        assert_eq!(
+            enq.kind,
+            EventKind::Enqueued {
+                query: 7,
+                device: DeviceId(2),
+                depth: 1,
+                behind: None,
+            }
+        );
+        let served =
+            parse_line("{\"t\":2,\"ev\":\"served_on_time\",\"q\":7,\"latency\":5}").unwrap();
+        assert_eq!(
+            served.kind,
+            EventKind::ServedOnTime {
+                query: 7,
+                latency: SimTime::from_nanos(5),
+                epoch: 0,
+            }
+        );
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //! * [`MemorySink`] — in-memory capture for tests and post-run export;
 //! * [`JsonlSink`] — streams JSON Lines to a file as the run progresses.
 //!
-//! On top of the recorded stream sit two offline consumers: a
+//! On top of the recorded stream sit the offline consumers: a
 //! [Chrome-trace exporter](chrome::export_chrome) (open the result in
-//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) and the
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), the
 //! [`analysis`] module (per-query lifecycle reconstruction and
-//! SLO-violation [blame attribution](analysis::blame)), which power the
-//! `trace-query` binary in the CLI crate.
+//! SLO-violation [blame attribution](analysis::blame)), the [`span`]
+//! module (causal span trees with an additive critical-path
+//! decomposition, plus collapsed-stack flame export), and the [`diff`]
+//! module (run-to-run trace comparison for regression triage) — all
+//! powering the `trace-query` binary in the CLI crate.
 //!
 //! # Examples
 //!
@@ -41,12 +44,16 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod sink;
+pub mod span;
 
 pub use analysis::{blame, query_lifecycle, BlameCause, BlameReport, BlameVerdict, LifecycleStats};
 pub use chrome::export_chrome;
+pub use diff::{diff_traces, CauseMigration, DiffReport, SegmentDelta};
 pub use event::{AlertSeverity, DiscardReason, DropReason, EventKind, ReplanCause, TraceEvent};
 pub use json::{parse_jsonl, parse_line, to_jsonl, ParseEventError};
 pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use span::{collapse_flame, span_tree, span_trees, CausalEdge, Outcome, Segment, SpanTree};
